@@ -1,0 +1,48 @@
+//! Criterion bench for Exp#7: AFR aggregation, scalar vs vectorised.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ow_controller::simd;
+
+fn bench_afr_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afr_merge");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let src64: Vec<u64> = (0..n as u64).map(|i| i % 1000).collect();
+        let base64: Vec<u64> = (0..n as u64).map(|i| i % 500).collect();
+        let src32: Vec<u32> = src64.iter().map(|&v| v as u32).collect();
+        let base32: Vec<u32> = base64.iter().map(|&v| v as u32).collect();
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sum_scalar", n), &n, |b, _| {
+            let mut dst = base64.clone();
+            b.iter(|| {
+                simd::sum_scalar(&mut dst, &src64);
+                std::hint::black_box(&dst);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sum_simd_u32", n), &n, |b, _| {
+            let mut dst = base32.clone();
+            b.iter(|| {
+                simd::sum_vectorized_u32(&mut dst, &src32);
+                std::hint::black_box(&dst);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("max_scalar", n), &n, |b, _| {
+            let mut dst = base64.clone();
+            b.iter(|| {
+                simd::max_scalar(&mut dst, &src64);
+                std::hint::black_box(&dst);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("max_simd_u32", n), &n, |b, _| {
+            let mut dst = base32.clone();
+            b.iter(|| {
+                simd::max_vectorized_u32(&mut dst, &src32);
+                std::hint::black_box(&dst);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_afr_merge);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! CPU cost of the functional collect-and-reset engine (AFR generation
+//! and reset) across flowkey-population sizes and collection modes —
+//! the controller/switch work behind Exp#6's modelled latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ow_common::flowkey::{FlowKey, KeyKind};
+use ow_common::packet::{Packet, TcpFlags};
+use ow_common::time::Instant;
+use ow_sketch::CountMin;
+use ow_switch::app::{DataPlaneApp, FrequencyApp};
+use ow_switch::collect::{CollectConfig, CollectMode, CrEngine};
+use ow_switch::flowkey::FlowkeyTracker;
+use ow_switch::latency::LatencyModel;
+
+fn populated(keys: usize, fk_capacity: usize) -> (FrequencyApp<CountMin>, FlowkeyTracker) {
+    let mut app = FrequencyApp::new(CountMin::new(2, 32 * 1024, 1), KeyKind::SrcIp, false);
+    let mut tracker = FlowkeyTracker::new(fk_capacity, keys, 2);
+    for i in 0..keys as u32 {
+        let p = Packet::tcp(Instant::ZERO, i + 1, 9, 1, 80, TcpFlags::ack(), 64);
+        app.update(&p);
+        tracker.track(&FlowKey::src_ip(i + 1));
+    }
+    (app, tracker)
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let engine = CrEngine::new(LatencyModel::default());
+    let mut group = c.benchmark_group("collect_and_reset");
+    group.sample_size(20);
+    for &keys in &[1_024usize, 8_192, 32_768] {
+        group.throughput(Throughput::Elements(keys as u64));
+        for (label, mode) in [
+            ("hybrid", CollectMode::Hybrid),
+            ("data_plane", CollectMode::DataPlane),
+            ("control_plane", CollectMode::ControlPlane),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, keys), &keys, |b, &keys| {
+                b.iter_batched(
+                    || populated(keys, keys / 2),
+                    |(mut app, mut tracker)| {
+                        let out = engine.collect_and_reset(
+                            &mut app,
+                            &mut tracker,
+                            0,
+                            CollectConfig {
+                                mode,
+                                recirc_packets: 3,
+                                rdma: false,
+                            },
+                        );
+                        std::hint::black_box(out.afrs.len());
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collect);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the controller's per-sub-window pipeline (the
+//! Exp#4 operations as one unit): ingest an AFR batch into the
+//! reference-counted key-value table in tumbling and sliding modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ow_common::afr::FlowRecord;
+use ow_common::flowkey::FlowKey;
+use ow_controller::timing::{InstrumentedController, WindowMode};
+
+fn batch(sw: u32, flows: usize) -> Vec<FlowRecord> {
+    (0..flows)
+        .map(|i| {
+            let mut r = FlowRecord::frequency(
+                FlowKey::src_ip(i as u32 | 0x0A00_0000),
+                1 + i as u64 % 50,
+                sw,
+            );
+            r.seq = i as u32;
+            r
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_ingest");
+    for &flows in &[4_096usize, 16_384, 65_536] {
+        group.throughput(Throughput::Elements(flows as u64));
+        group.bench_with_input(BenchmarkId::new("tumbling", flows), &flows, |b, &flows| {
+            let batches: Vec<Vec<FlowRecord>> = (0..5).map(|sw| batch(sw, flows)).collect();
+            b.iter(|| {
+                let mut ctl =
+                    InstrumentedController::new(WindowMode::Tumbling { subwindows: 5 }, 100.0);
+                for (sw, bch) in batches.iter().enumerate() {
+                    ctl.ingest(sw as u32, bch);
+                }
+                std::hint::black_box(ctl.reports().len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sliding", flows), &flows, |b, &flows| {
+            let batches: Vec<Vec<FlowRecord>> = (0..8).map(|sw| batch(sw, flows)).collect();
+            b.iter(|| {
+                let mut ctl =
+                    InstrumentedController::new(WindowMode::Sliding { subwindows: 5 }, 100.0);
+                for (sw, bch) in batches.iter().enumerate() {
+                    ctl.ingest(sw as u32, bch);
+                }
+                std::hint::black_box(ctl.reports().len());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

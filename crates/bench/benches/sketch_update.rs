@@ -1,0 +1,102 @@
+//! Per-packet update throughput of every sketch — the data-plane hot
+//! path the switch model executes for each forwarded packet.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ow_common::flowkey::FlowKey;
+use ow_sketch::traits::{FrequencySketch, SpreadEstimator};
+use ow_sketch::{
+    BloomFilter, CountMin, HashPipe, HyperLogLog, LinearCounting, MvSketch, SpreadSketch, SuMax,
+    VectorBloomFilter,
+};
+
+const N: usize = 10_000;
+
+fn keys() -> Vec<FlowKey> {
+    (0..N as u32)
+        .map(|i| FlowKey::five_tuple(i, !i, (i % 60_000) as u16, 80, 6))
+        .collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let keys = keys();
+    let mut group = c.benchmark_group("sketch_update");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("count_min", |b| {
+        let mut s = CountMin::new(4, 1 << 16, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.update(&keys[i % N], 1);
+            i += 1;
+        });
+    });
+    group.bench_function("sumax", |b| {
+        let mut s = SuMax::new(4, 1 << 16, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.update(&keys[i % N], 1);
+            i += 1;
+        });
+    });
+    group.bench_function("mv_sketch", |b| {
+        let mut s = MvSketch::new(4, 1 << 14, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.update(&keys[i % N], 1);
+            i += 1;
+        });
+    });
+    group.bench_function("hashpipe", |b| {
+        let mut s = HashPipe::new(4, 1 << 14, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.update(&keys[i % N], 1);
+            i += 1;
+        });
+    });
+    group.bench_function("spread_sketch", |b| {
+        let mut s = SpreadSketch::new(4, 1 << 12, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.update_element(&keys[i % N], (i * 7) as u64);
+            i += 1;
+        });
+    });
+    group.bench_function("vbf", |b| {
+        let mut s = VectorBloomFilter::new(1);
+        let srcs: Vec<FlowKey> = (0..N as u32).map(FlowKey::src_ip).collect();
+        let mut i = 0;
+        b.iter(|| {
+            s.update_element(&srcs[i % N], (i * 7) as u64);
+            i += 1;
+        });
+    });
+    group.bench_function("linear_counting", |b| {
+        let mut s = LinearCounting::new(1 << 16, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.insert(&keys[i % N]);
+            i += 1;
+        });
+    });
+    group.bench_function("hyperloglog", |b| {
+        let mut s = HyperLogLog::new(14, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.insert(&keys[i % N]);
+            i += 1;
+        });
+    });
+    group.bench_function("bloom_track", |b| {
+        let mut s = BloomFilter::for_capacity(N, 1);
+        let mut i = 0;
+        b.iter(|| {
+            s.check_and_insert(&keys[i % N]);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

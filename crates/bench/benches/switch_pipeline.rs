@@ -1,0 +1,83 @@
+//! Per-packet cost of the composed switch pipeline (signal engine →
+//! consistency stamp → state update → flowkey tracking), the model's
+//! equivalent of the data plane's line-rate path, plus the periodic
+//! collect-and-reset amortised over the stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ow_common::flowkey::KeyKind;
+use ow_common::packet::{Packet, TcpFlags};
+use ow_common::time::{Duration, Instant};
+use ow_sketch::{CountMin, MvSketch};
+use ow_switch::app::FrequencyApp;
+use ow_switch::signal::WindowSignal;
+use ow_switch::{Switch, SwitchConfig};
+
+const N: usize = 10_000;
+
+fn packets() -> Vec<Packet> {
+    (0..N)
+        .map(|i| {
+            Packet::tcp(
+                Instant::from_micros(i as u64 * 10),
+                (i % 997) as u32 + 1,
+                9,
+                1,
+                80,
+                TcpFlags::ack(),
+                64,
+            )
+        })
+        .collect()
+}
+
+fn config() -> SwitchConfig {
+    SwitchConfig {
+        signal: WindowSignal::Timeout(Duration::from_millis(10)),
+        fk_capacity: 2_048,
+        expected_flows: 4_096,
+        ..SwitchConfig::default()
+    }
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let pkts = packets();
+    let mut group = c.benchmark_group("switch_pipeline");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    group.bench_function("count_min_app", |b| {
+        b.iter_batched(
+            || {
+                let app = |s| FrequencyApp::new(CountMin::new(2, 8_192, s), KeyKind::SrcIp, false);
+                Switch::new(config(), app(1), app(2))
+            },
+            |mut sw| {
+                for p in &pkts {
+                    std::hint::black_box(sw.process(*p));
+                }
+                std::hint::black_box(sw.flush());
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("mv_sketch_app", |b| {
+        b.iter_batched(
+            || {
+                let app = |s| FrequencyApp::new(MvSketch::new(2, 2_048, s), KeyKind::SrcIp, false);
+                Switch::new(config(), app(1), app(2))
+            },
+            |mut sw| {
+                for p in &pkts {
+                    std::hint::black_box(sw.process(*p));
+                }
+                std::hint::black_box(sw.flush());
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! End-to-end mechanism throughput: packets/second through each window
+//! mechanism (ideal, conventional TW, OmniWindow, Sliding Sketch) on the
+//! heavy-hitter app. This is the whole-pipeline cost comparison that no
+//! single figure in the paper shows but every deployment decision needs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use omniwindow::app::HeavyHitterApp;
+use omniwindow::config::WindowConfig;
+use omniwindow::mechanisms::{
+    run_conventional_tw, run_ideal, run_omniwindow, run_sliding_sketch, Mode,
+};
+use ow_common::time::Duration;
+use ow_trace::{TraceBuilder, TraceConfig};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let trace = TraceBuilder::new(TraceConfig {
+        duration: Duration::from_millis(1_000),
+        flows: 2_000,
+        packets: 50_000,
+        seed: 7,
+        ..TraceConfig::default()
+    })
+    .build();
+    let n = trace.len() as u64;
+    let cfg = WindowConfig::paper_default();
+    let app = HeavyHitterApp::mv(100);
+
+    let mut group = c.benchmark_group("window_mechanisms");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(20);
+
+    group.bench_function("ideal_tumbling", |b| {
+        b.iter(|| std::hint::black_box(run_ideal(&app, &trace, &cfg, Mode::Tumbling)))
+    });
+    group.bench_function("ideal_sliding", |b| {
+        b.iter(|| std::hint::black_box(run_ideal(&app, &trace, &cfg, Mode::Sliding)))
+    });
+    group.bench_function("conventional_tw2", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_conventional_tw(
+                &app,
+                &trace,
+                &cfg,
+                256 * 1024,
+                Duration::ZERO,
+                7,
+                &[],
+            ))
+        })
+    });
+    group.bench_function("omniwindow_tumbling", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_omniwindow(
+                &app,
+                &trace,
+                &cfg,
+                Mode::Tumbling,
+                64 * 1024,
+                7,
+            ))
+        })
+    });
+    group.bench_function("omniwindow_sliding", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_omniwindow(
+                &app,
+                &trace,
+                &cfg,
+                Mode::Sliding,
+                64 * 1024,
+                7,
+            ))
+        })
+    });
+    group.bench_function("sliding_sketch", |b| {
+        b.iter(|| std::hint::black_box(run_sliding_sketch(&app, &trace, &cfg, 256 * 1024, 7, &[])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Exp#1 (Figure 7): query-driven telemetry accuracy, Q1–Q7 × window
+//! mechanisms.
+
+use omniwindow::experiments::exp1_queries;
+use ow_bench::{pct, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!(
+        "running Exp#1 (query-driven telemetry) at {:?} scale…",
+        cli.scale
+    );
+    let result = exp1_queries::run(cli.scale, cli.seed);
+
+    println!("Exp#1: query-driven telemetry (Figure 7)");
+    println!("mechanism scored against its ideal (tumbling→ITW, sliding→ISW);");
+    println!("ITW-vs-ISW shows what tumbling windows inherently miss.\n");
+    println!(
+        "{:<6} {:<12} {:>10} {:>10}",
+        "query", "mechanism", "precision", "recall"
+    );
+    for q in &result.queries {
+        for row in &q.rows {
+            println!(
+                "{:<6} {:<12} {:>10} {:>10}",
+                q.query,
+                row.mechanism,
+                pct(row.precision),
+                pct(row.recall)
+            );
+        }
+        println!();
+    }
+    for mech in ["ITW-vs-ISW", "TW1", "TW2", "OTW", "OSW"] {
+        let (p, r) = result.average(mech);
+        println!(
+            "average {:<12} precision {} recall {}",
+            mech,
+            pct(p),
+            pct(r)
+        );
+    }
+    cli.dump(&result);
+}

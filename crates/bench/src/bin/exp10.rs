@@ -1,0 +1,30 @@
+//! Exp#10 (Figure 15): accuracy under different window sizes.
+
+use omniwindow::experiments::exp10_window_sizes;
+use ow_bench::{pct, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("running Exp#10 (window sizes) at {:?} scale…", cli.scale);
+    let sizes = [500u64, 1_000, 1_500, 2_000];
+    let result = exp10_window_sizes::run(cli.scale, &sizes, 40, cli.seed);
+
+    println!("Exp#10: MV-Sketch heavy hitters vs window size (Figure 15)\n");
+    println!(
+        "{:<10} {:<6} {:>10} {:>10}",
+        "window", "mech", "precision", "recall"
+    );
+    for p in &result.points {
+        for r in &p.rows {
+            println!(
+                "{:<10} {:<6} {:>10} {:>10}",
+                format!("{}ms", p.window_ms),
+                r.mechanism,
+                pct(r.precision),
+                pct(r.recall)
+            );
+        }
+        println!();
+    }
+    cli.dump(&result);
+}

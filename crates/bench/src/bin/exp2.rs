@@ -1,0 +1,34 @@
+//! Exp#2 (Figure 8): sketch-based algorithms under the window settings.
+
+use omniwindow::experiments::exp2_sketches;
+use ow_bench::{pct, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!(
+        "running Exp#2 (sketch algorithms) at {:?} scale…",
+        cli.scale
+    );
+    let result = exp2_sketches::run(cli.scale, cli.seed);
+
+    println!("Exp#2: sketch-based algorithms (Figure 8)\n");
+    for s in &result.sketches {
+        println!("{} / {}", s.query, s.sketch);
+        if !s.rows.is_empty() {
+            println!("  {:<6} {:>10} {:>10}", "mech", "precision", "recall");
+            for r in &s.rows {
+                println!(
+                    "  {:<6} {:>10} {:>10}",
+                    r.mechanism,
+                    pct(r.precision),
+                    pct(r.recall)
+                );
+            }
+        }
+        for (mech, err) in &s.errors {
+            println!("  {:<6} relative error {:.4}", mech, err);
+        }
+        println!();
+    }
+    cli.dump(&result);
+}

@@ -1,0 +1,45 @@
+//! Exp#5 (Table 2): switch hardware resource breakdown.
+
+use omniwindow::experiments::exp5_resources;
+use ow_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let report = exp5_resources::run();
+
+    println!("Exp#5: switch resource breakdown of Q1 (Table 2)\n");
+    println!(
+        "{:<20} {:>6} {:>9} {:>5} {:>5} {:>8}",
+        "feature", "stage", "SRAM(KB)", "SALU", "VLIW", "gateway"
+    );
+    for f in &report.features {
+        println!(
+            "{:<20} {:>6} {:>9} {:>5} {:>5} {:>8}",
+            f.feature, f.stages, f.sram_kb, f.salus, f.vliw, f.gateways
+        );
+    }
+    let t = &report.total;
+    println!(
+        "{:<20} {:>6} {:>9} {:>5} {:>5} {:>8}",
+        t.feature, t.stages, t.sram_kb, t.salus, t.vliw, t.gateways
+    );
+    println!("\nnormalized by (Q1 + switch.p4):");
+    for (name, p) in report.normalized_percent() {
+        println!("  {name:<8} {p:5.1}%");
+    }
+
+    // Derived stage placement: the greedy packer assigns the same
+    // feature steps to physical stages under Tofino-like limits.
+    let features = ow_switch::placement::omniwindow_features(624, 3, 928);
+    let placement =
+        ow_switch::placement::place(&features, ow_switch::placement::StageLimits::default())
+            .expect("Exp#5 build fits the pipeline");
+    println!(
+        "\nderived placement ({} stages used):",
+        placement.stages_used
+    );
+    for (name, stages) in &placement.assignments {
+        println!("  {name:<20} stages {stages:?}");
+    }
+    cli.dump(&report);
+}

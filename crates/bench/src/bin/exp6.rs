@@ -1,0 +1,37 @@
+//! Exp#6 (Figure 11): time of AFR generation and collection.
+
+use omniwindow::experiments::exp6_collection;
+use ow_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    eprintln!("running Exp#6 (AFR generation & collection)…");
+    let result = exp6_collection::run(cli.seed);
+
+    println!("Exp#6: AFR generation & collection time (Figure 11)");
+    println!("Count-Min, 128 KB per array, 64 K flowkeys (32 K cached for OW)\n");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "method", "1 hash", "2 hashes", "3 hashes", "4 hashes"
+    );
+    for method in ["OS", "CPC", "DPC", "OW", "CPC*", "DPC*", "OW*"] {
+        let cells: Vec<String> = (1..=4)
+            .map(|h| {
+                result
+                    .times
+                    .iter()
+                    .find(|t| t.method == method && t.hashes == h)
+                    .map(|t| format!("{:.2}ms", t.millis))
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10}",
+            method, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("\nmeans: OS {:.0}ms  CPC {:.1}ms  CPC* {:.1}ms  DPC {:.1}ms  DPC* {:.1}ms  OW {:.1}ms  OW* {:.1}ms",
+        result.mean_ms("OS"), result.mean_ms("CPC"), result.mean_ms("CPC*"),
+        result.mean_ms("DPC"), result.mean_ms("DPC*"), result.mean_ms("OW"), result.mean_ms("OW*"));
+    cli.dump(&result);
+}

@@ -1,0 +1,31 @@
+//! Exp#7 (Figure 12): time of AFR aggregation with and without SIMD.
+
+use omniwindow::experiments::exp7_aggregation;
+use omniwindow::experiments::Scale;
+use ow_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let flows = match cli.scale {
+        Scale::Tiny | Scale::Small => 100_000,
+        Scale::Paper => 1_000_000,
+    };
+    eprintln!("running Exp#7 (AFR aggregation) over {flows} flows…");
+    let result = exp7_aggregation::run(flows);
+
+    println!("Exp#7: AFR aggregation time (Figure 12), {flows} flows\n");
+    println!(
+        "{:<5} {:>12} {:>12} {:>9}",
+        "op", "scalar (µs)", "simd (µs)", "speedup"
+    );
+    for op in ["sum", "max"] {
+        println!(
+            "{:<5} {:>12.1} {:>12.1} {:>8.1}x",
+            op,
+            result.micros(op, "scalar").unwrap_or(0.0),
+            result.micros(op, "simd").unwrap_or(0.0),
+            result.speedup(op).unwrap_or(0.0)
+        );
+    }
+    cli.dump(&result);
+}

@@ -1,0 +1,31 @@
+//! Exp#8 (Figure 13): time of in-switch reset.
+
+use omniwindow::experiments::exp8_reset;
+use ow_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let result = exp8_reset::run(65_536);
+
+    println!("Exp#8: in-switch reset time (Figure 13)");
+    println!("registers of 64 K two-byte entries (128 KB each)\n");
+    println!(
+        "{:<7} {:>12} {:>12} {:>12} {:>12}",
+        "method", "1 register", "2 registers", "3 registers", "4 registers"
+    );
+    for method in ["OS", "OW-4", "OW-8", "OW-16"] {
+        let cells: Vec<String> = (1..=4)
+            .map(|r| {
+                result
+                    .millis(method, r)
+                    .map(|m| format!("{m:.2}ms"))
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        println!(
+            "{:<7} {:>12} {:>12} {:>12} {:>12}",
+            method, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    cli.dump(&result);
+}

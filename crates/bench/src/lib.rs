@@ -1,0 +1,72 @@
+//! Shared helpers for the experiment binaries (`exp1`–`exp10`).
+//!
+//! Each binary regenerates one table or figure of the paper: it runs the
+//! corresponding driver from `omniwindow::experiments`, prints the rows
+//! the paper reports, and (with `--json <path>`) dumps machine-readable
+//! results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use omniwindow::experiments::Scale;
+
+/// Parsed common CLI flags for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Workload scale (`--small` for a quick run; default is paper scale).
+    pub scale: Scale,
+    /// Optional JSON dump path (`--json <path>`).
+    pub json: Option<String>,
+    /// RNG seed (`--seed <n>`).
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().collect();
+        let mut cli = Cli {
+            scale: Scale::Paper,
+            json: None,
+            seed: 0xCA1DA,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--small" => cli.scale = Scale::Small,
+                "--json" => {
+                    i += 1;
+                    cli.json = args.get(i).cloned();
+                }
+                "--seed" => {
+                    i += 1;
+                    cli.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(cli.seed);
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// Write `value` as pretty JSON if `--json` was given.
+    pub fn dump<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            match serde_json::to_string_pretty(value) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s) {
+                        eprintln!("failed to write {path}: {e}");
+                    } else {
+                        eprintln!("results written to {path}");
+                    }
+                }
+                Err(e) => eprintln!("failed to serialise results: {e}"),
+            }
+        }
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:5.1}%", v * 100.0)
+}

@@ -1,0 +1,56 @@
+//! Error type shared across the workspace.
+
+use crate::afr::AttrKind;
+
+/// Errors produced by OmniWindow-RS components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OwError {
+    /// A wire-format decode failure.
+    Decode(String),
+    /// Two AFR attributes with different merge patterns were merged.
+    AttrMismatch {
+        /// Pattern of the left operand.
+        left: AttrKind,
+        /// Pattern of the right operand.
+        right: AttrKind,
+    },
+    /// A configuration value is invalid (zero sizes, non-power-of-two, …).
+    Config(String),
+    /// A data-plane resource budget was exceeded (stages, SRAM, SALUs).
+    ResourceExhausted(String),
+    /// A protocol-level invariant was violated (e.g. collection packet for
+    /// a sub-window that is still active).
+    Protocol(String),
+}
+
+impl core::fmt::Display for OwError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OwError::Decode(msg) => write!(f, "decode error: {msg}"),
+            OwError::AttrMismatch { left, right } => {
+                write!(f, "cannot merge attribute {left:?} with {right:?}")
+            }
+            OwError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            OwError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+            OwError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OwError::Config("window_size must be a multiple of sub_window".into());
+        assert!(e.to_string().contains("window_size"));
+        let e = OwError::AttrMismatch {
+            left: AttrKind::Frequency,
+            right: AttrKind::Max,
+        };
+        assert!(e.to_string().contains("Frequency"));
+    }
+}

@@ -1,0 +1,265 @@
+//! A deterministic hash family for sketches and key tracking.
+//!
+//! All sketches in `ow-sketch` draw their hash functions from this family
+//! so experiments are reproducible across runs and platforms. The design
+//! is a 128→64-bit mix (SplitMix64-style finalizer over the packed flow
+//! key, salted per function index) — cheap, well-distributed, and entirely
+//! self-contained (no external hashing crates).
+
+use crate::flowkey::FlowKey;
+
+/// One member of the pairwise-independent-ish hash family.
+///
+/// `HashFn::new(seed, i)` with distinct `i` yields effectively independent
+/// functions; the same `(seed, i)` always yields the same function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFn {
+    salt0: u64,
+    salt1: u64,
+}
+
+/// SplitMix64 finalizer: the core 64-bit mixer.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl HashFn {
+    /// Create the `index`-th function of the family derived from `seed`.
+    pub fn new(seed: u64, index: usize) -> HashFn {
+        let base = mix64(seed ^ mix64(index as u64 + 1));
+        HashFn {
+            salt0: base,
+            salt1: mix64(base ^ 0xA5A5_A5A5_5A5A_5A5A),
+        }
+    }
+
+    /// Hash a packed 128-bit value to 64 bits.
+    #[inline]
+    pub fn hash_u128(&self, v: u128) -> u64 {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        mix64(lo ^ self.salt0) ^ mix64(hi.wrapping_add(self.salt1))
+    }
+
+    /// Hash a flow key (under its projection) to 64 bits.
+    #[inline]
+    pub fn hash_key(&self, key: &FlowKey) -> u64 {
+        self.hash_u128(key.as_u128())
+    }
+
+    /// Hash a flow key to a table index in `[0, buckets)`.
+    ///
+    /// Uses the high-entropy multiply-shift reduction instead of modulo,
+    /// which is what a P4 program's bit-sliced index computation looks like
+    /// and avoids modulo bias for non-power-of-two widths.
+    #[inline]
+    pub fn index(&self, key: &FlowKey, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        let h = self.hash_key(key);
+        (((h as u128) * (buckets as u128)) >> 64) as usize
+    }
+
+    /// Hash an arbitrary 64-bit value to a table index in `[0, buckets)`.
+    #[inline]
+    pub fn index_u64(&self, v: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        let h = mix64(v ^ self.salt0).wrapping_add(self.salt1);
+        (((mix64(h) as u128) * (buckets as u128)) >> 64) as usize
+    }
+}
+
+/// A convenience bundle of `d` hash functions, as used by d-row sketches.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    fns: Vec<HashFn>,
+}
+
+impl HashFamily {
+    /// Build `d` functions from `seed`.
+    pub fn new(seed: u64, d: usize) -> HashFamily {
+        HashFamily {
+            fns: (0..d).map(|i| HashFn::new(seed, i)).collect(),
+        }
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// The `i`-th function.
+    pub fn get(&self, i: usize) -> &HashFn {
+        &self.fns[i]
+    }
+
+    /// Iterate over the functions.
+    pub fn iter(&self) -> impl Iterator<Item = &HashFn> {
+        self.fns.iter()
+    }
+}
+
+/// A fast `std::hash::Hasher` built on [`mix64`], for the controller's
+/// key-value tables (the stand-in for DPDK `rte_hash`'s CRC hashing —
+/// the default SipHash would dominate the Exp#4 measurements).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OwHasher {
+    state: u64,
+}
+
+impl core::hash::Hasher for OwHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix64(self.state ^ u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = mix64(self.state ^ v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.state = mix64(self.state ^ v as u64);
+        self.state = mix64(self.state ^ (v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`OwHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OwBuildHasher;
+
+impl core::hash::BuildHasher for OwBuildHasher {
+    type Hasher = OwHasher;
+    fn build_hasher(&self) -> OwHasher {
+        OwHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with the fast [`OwHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, OwBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowkey::FlowKey;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashFn::new(42, 3);
+        let b = HashFn::new(42, 3);
+        let k = FlowKey::five_tuple(1, 2, 3, 4, 6);
+        assert_eq!(a.hash_key(&k), b.hash_key(&k));
+    }
+
+    #[test]
+    fn different_indices_give_different_functions() {
+        let a = HashFn::new(42, 0);
+        let b = HashFn::new(42, 1);
+        let k = FlowKey::five_tuple(1, 2, 3, 4, 6);
+        assert_ne!(a.hash_key(&k), b.hash_key(&k));
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let h = HashFn::new(7, 0);
+        for buckets in [1usize, 2, 3, 1000, 65536, 100003] {
+            for i in 0..200u32 {
+                let k = FlowKey::five_tuple(i, i * 7 + 1, 80, 443, 6);
+                assert!(h.index(&k, buckets) < buckets);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // Chi-square-ish sanity check: 64 buckets, 64k keys, each bucket
+        // should hold close to 1024 keys.
+        let h = HashFn::new(99, 0);
+        let buckets = 64usize;
+        let mut counts = vec![0u32; buckets];
+        for i in 0..65536u32 {
+            let k = FlowKey::five_tuple(i, !i, (i % 1000) as u16, 80, 6);
+            counts[h.index(&k, buckets)] += 1;
+        }
+        let expected = 65536.0 / buckets as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.25, "bucket {b} count {c} deviates {dev:.2}");
+        }
+    }
+
+    #[test]
+    fn family_has_requested_size() {
+        let fam = HashFamily::new(1, 4);
+        assert_eq!(fam.len(), 4);
+        assert!(!fam.is_empty());
+        // All members distinct.
+        let k = FlowKey::src_ip(0x01020304);
+        let hashes: Vec<u64> = fam.iter().map(|f| f.hash_key(&k)).collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn ow_hasher_distributes_keys() {
+        use core::hash::BuildHasher;
+        let bh = OwBuildHasher;
+        let mut buckets = vec![0u32; 64];
+        for i in 0..65536u32 {
+            let k = FlowKey::five_tuple(i, !i, 80, 443, 6);
+            buckets[(bh.hash_one(k) % 64) as usize] += 1;
+        }
+        let expected = 65536.0 / 64.0;
+        for &c in &buckets {
+            assert!((c as f64 - expected).abs() / expected < 0.3, "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn fast_map_works_as_hashmap() {
+        let mut m: FastMap<FlowKey, u32> = FastMap::default();
+        for i in 0..100u32 {
+            m.insert(FlowKey::src_ip(i), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&FlowKey::src_ip(42)), Some(&42));
+    }
+
+    #[test]
+    fn mix64_avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = mix64(0x1234_5678_9ABC_DEF0);
+        let b = mix64(0x1234_5678_9ABC_DEF1);
+        let flipped = (a ^ b).count_ones();
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
+    }
+}

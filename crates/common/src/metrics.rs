@@ -1,0 +1,181 @@
+//! Accuracy metrics used by the evaluation: precision, recall, ARE, AARE.
+//!
+//! * **Precision** — of the flows a mechanism reported, the fraction that
+//!   are true anomalies.
+//! * **Recall** — of the true anomalies, the fraction the mechanism found.
+//! * **ARE** (average relative error) — mean of `|est - true| / true` over
+//!   ground-truth flows.
+//! * **AARE** — the ARE averaged again across windows (the paper computes
+//!   AARE for the per-window cardinality query).
+
+use std::collections::HashSet;
+
+use crate::flowkey::FlowKey;
+
+/// Precision/recall of a reported set against a ground-truth set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of reported items that are true positives.
+    pub precision: f64,
+    /// Fraction of ground-truth items that were reported.
+    pub recall: f64,
+    /// True-positive count.
+    pub tp: usize,
+    /// False-positive count.
+    pub fp: usize,
+    /// False-negative count.
+    pub fn_: usize,
+}
+
+impl PrecisionRecall {
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Compare a reported flow set against ground truth.
+///
+/// Empty-set conventions: precision of an empty report is 1.0 (nothing
+/// wrong was said); recall against empty ground truth is 1.0 (nothing was
+/// missed). These match how the paper's plots treat windows with no
+/// anomalies.
+pub fn precision_recall(reported: &HashSet<FlowKey>, truth: &HashSet<FlowKey>) -> PrecisionRecall {
+    let tp = reported.intersection(truth).count();
+    let fp = reported.len() - tp;
+    let fn_ = truth.len() - tp;
+    let precision = if reported.is_empty() {
+        1.0
+    } else {
+        tp as f64 / reported.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        tp as f64 / truth.len() as f64
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        tp,
+        fp,
+        fn_,
+    }
+}
+
+/// Average relative error of `(estimate, truth)` pairs.
+///
+/// Pairs with `truth == 0` are skipped (relative error is undefined);
+/// returns 0.0 when no pair is usable.
+pub fn average_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &(est, truth) in pairs {
+        if truth > 0.0 {
+            sum += (est - truth).abs() / truth;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Mean of per-window AREs (the paper's AARE).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Relative error of a single scalar estimate.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(ids: &[u32]) -> HashSet<FlowKey> {
+        ids.iter().map(|&i| FlowKey::src_ip(i)).collect()
+    }
+
+    #[test]
+    fn perfect_report_scores_one() {
+        let truth = keys(&[1, 2, 3]);
+        let pr = precision_recall(&truth, &truth);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1(), 1.0);
+        assert_eq!((pr.tp, pr.fp, pr.fn_), (3, 0, 0));
+    }
+
+    #[test]
+    fn half_right_report() {
+        let reported = keys(&[1, 2, 4, 5]);
+        let truth = keys(&[1, 2, 3]);
+        let pr = precision_recall(&reported, &truth);
+        assert!((pr.precision - 0.5).abs() < 1e-12);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!((pr.tp, pr.fp, pr.fn_), (2, 2, 1));
+    }
+
+    #[test]
+    fn empty_sets_follow_conventions() {
+        let empty = HashSet::new();
+        let truth = keys(&[1]);
+        let pr = precision_recall(&empty, &truth);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        let pr = precision_recall(&truth, &empty);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 1.0);
+        let pr = precision_recall(&empty, &empty);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn are_ignores_zero_truth() {
+        let pairs = [(10.0, 10.0), (15.0, 10.0), (5.0, 0.0)];
+        let are = average_relative_error(&pairs);
+        assert!((are - 0.25).abs() < 1e-12);
+        assert_eq!(average_relative_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_handles_zero() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+        assert!((relative_error(12.0, 10.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_handles_all_zero() {
+        let pr = PrecisionRecall {
+            precision: 0.0,
+            recall: 0.0,
+            tp: 0,
+            fp: 1,
+            fn_: 1,
+        };
+        assert_eq!(pr.f1(), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the foundation types.
+
+use bytes::Bytes;
+use ow_common::afr::{AttrKind, AttrValue, DistinctBitmap};
+use ow_common::flowkey::{FlowKey, KeyKind};
+use ow_common::hash::HashFn;
+use ow_common::packet::{OwFlag, OwHeader};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = KeyKind> {
+    prop_oneof![
+        Just(KeyKind::FiveTuple),
+        Just(KeyKind::SrcIp),
+        Just(KeyKind::DstIp),
+        Just(KeyKind::SrcDst),
+    ]
+}
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        arb_kind(),
+    )
+        .prop_map(|(s, d, sp, dp, p, kind)| {
+            FlowKey {
+                src_ip: s,
+                dst_ip: d,
+                src_port: sp,
+                dst_port: dp,
+                proto: p,
+                kind,
+            }
+            .canonical()
+        })
+}
+
+fn arb_flag() -> impl Strategy<Value = OwFlag> {
+    prop_oneof![
+        Just(OwFlag::Normal),
+        Just(OwFlag::Collection),
+        Just(OwFlag::Reset),
+        Just(OwFlag::Trigger),
+        Just(OwFlag::InjectKey),
+        Just(OwFlag::AfrReport),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = OwHeader> {
+    (
+        any::<u32>(),
+        arb_flag(),
+        proptest::option::of(arb_key()),
+        any::<u64>(),
+        any::<u32>(),
+    )
+        .prop_map(|(subwindow, flag, flowkey, afr_value, seq)| OwHeader {
+            subwindow,
+            flag,
+            flowkey,
+            afr_value,
+            seq,
+        })
+}
+
+proptest! {
+    /// Wire codec roundtrip: decode(encode(h)) == h for every header.
+    #[test]
+    fn header_codec_roundtrips(h in arb_header()) {
+        let enc = h.encode();
+        prop_assert_eq!(enc.len(), OwHeader::WIRE_SIZE);
+        let dec = OwHeader::decode(enc).unwrap();
+        prop_assert_eq!(dec, h);
+    }
+
+    /// Canonicalisation is idempotent and equality-preserving.
+    #[test]
+    fn canonical_is_idempotent(k in arb_key()) {
+        prop_assert_eq!(k.canonical(), k.canonical().canonical());
+        prop_assert_eq!(k, k.canonical());
+    }
+
+    /// Keys equal under a projection pack to equal u128s and vice versa.
+    #[test]
+    fn key_u128_agrees_with_eq(a in arb_key(), b in arb_key()) {
+        prop_assert_eq!(a == b, a.as_u128() == b.as_u128());
+    }
+
+    /// Hash indices are always in range.
+    #[test]
+    fn hash_index_in_range(k in arb_key(), seed in any::<u64>(), buckets in 1usize..1_000_000) {
+        let h = HashFn::new(seed, 0);
+        prop_assert!(h.index(&k, buckets) < buckets);
+    }
+
+    /// Frequency merge is commutative and associative.
+    #[test]
+    fn frequency_merge_comm_assoc(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+        let (a, b, c) = (a as u64, b as u64, c as u64);
+        let mut ab = AttrValue::Frequency(a);
+        ab.merge(&AttrValue::Frequency(b)).unwrap();
+        let mut ba = AttrValue::Frequency(b);
+        ba.merge(&AttrValue::Frequency(a)).unwrap();
+        prop_assert_eq!(ab, ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&AttrValue::Frequency(c)).unwrap();
+        let mut bc = AttrValue::Frequency(b);
+        bc.merge(&AttrValue::Frequency(c)).unwrap();
+        let mut a_bc = AttrValue::Frequency(a);
+        a_bc.merge(&bc).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// Max/min merges are idempotent: x ∨ x == x.
+    #[test]
+    fn extremum_merge_idempotent(v in any::<u64>()) {
+        let mut mx = AttrValue::Max(v);
+        mx.merge(&AttrValue::Max(v)).unwrap();
+        prop_assert_eq!(mx, AttrValue::Max(v));
+        let mut mn = AttrValue::Min(v);
+        mn.merge(&AttrValue::Min(v)).unwrap();
+        prop_assert_eq!(mn, AttrValue::Min(v));
+    }
+
+    /// Identity elements are neutral for every pattern.
+    #[test]
+    fn identities_are_neutral(v in any::<u64>()) {
+        for (kind, val) in [
+            (AttrKind::Frequency, AttrValue::Frequency(v)),
+            (AttrKind::Max, AttrValue::Max(v)),
+            (AttrKind::Min, AttrValue::Min(v)),
+        ] {
+            let mut id = AttrValue::identity(kind);
+            id.merge(&val).unwrap();
+            prop_assert_eq!(id, val);
+        }
+    }
+
+    /// Distinction bitmap union is commutative and never loses bits.
+    #[test]
+    fn bitmap_union_monotone(hs in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let mut a = DistinctBitmap::default();
+        let mut b = DistinctBitmap::default();
+        for (i, h) in hs.iter().enumerate() {
+            if i % 2 == 0 { a.insert_hash(*h); } else { b.insert_hash(*h); }
+        }
+        let ones_a = a.ones();
+        let mut ab = a;
+        ab.union_with(&b);
+        let mut ba = b;
+        ba.union_with(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab.ones() >= ones_a);
+        prop_assert!(ab.ones() >= b.ones());
+    }
+
+    /// Decoding arbitrary bytes either fails or re-encodes to the same bytes.
+    #[test]
+    fn decode_is_safe_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let buf = Bytes::from(data.clone());
+        if let Ok(h) = OwHeader::decode(buf) {
+            // A successful decode must produce a header that encodes to the
+            // same canonical prefix bytes.
+            let re = h.encode();
+            let dec2 = OwHeader::decode(re).unwrap();
+            prop_assert_eq!(dec2, h);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-sub-window AFR collection sessions with loss recovery (§8,
+//! "Reliability of AFRs").
+//!
+//! AFR report clones travel at the lowest priority and can be dropped
+//! under congestion. The switch announces, in the trigger packet, how
+//! many flowkeys the sub-window tracked and gives every AFR a dense
+//! sequence id; the controller checks completeness after generation and
+//! asks the switch to retransmit exactly the missing sequence ids.
+
+use std::collections::HashMap;
+
+use ow_common::afr::FlowRecord;
+
+/// State of one sub-window's collection session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Still expecting AFRs (count below announced).
+    Collecting,
+    /// All announced sequence ids received.
+    Complete,
+    /// Generation finished but ids are missing — retransmission needed.
+    MissingAfrs,
+}
+
+/// A collection session for one (switch, sub-window) pair.
+#[derive(Debug, Clone)]
+pub struct CollectionSession {
+    subwindow: u32,
+    announced: u32,
+    received: HashMap<u32, FlowRecord>,
+    retransmissions: u32,
+}
+
+impl CollectionSession {
+    /// Open a session after the trigger packet announced `announced`
+    /// tracked flowkeys for `subwindow`.
+    pub fn new(subwindow: u32, announced: u32) -> CollectionSession {
+        CollectionSession {
+            subwindow,
+            announced,
+            received: HashMap::with_capacity(announced as usize),
+            retransmissions: 0,
+        }
+    }
+
+    /// The sub-window being collected.
+    pub fn subwindow(&self) -> u32 {
+        self.subwindow
+    }
+
+    /// Ingest one AFR report. Duplicates (retransmissions that crossed
+    /// with the original) are idempotent. AFRs for the wrong sub-window
+    /// are rejected.
+    pub fn receive(&mut self, rec: FlowRecord) -> Result<(), ow_common::OwError> {
+        if rec.subwindow != self.subwindow {
+            return Err(ow_common::OwError::Protocol(format!(
+                "AFR for sub-window {} in session {}",
+                rec.subwindow, self.subwindow
+            )));
+        }
+        self.received.entry(rec.seq).or_insert(rec);
+        Ok(())
+    }
+
+    /// Session status given everything received so far.
+    pub fn status(&self) -> SessionStatus {
+        if self.received.len() as u32 >= self.announced {
+            SessionStatus::Complete
+        } else {
+            SessionStatus::Collecting
+        }
+    }
+
+    /// The missing sequence ids (the retransmission request payload).
+    /// Calling this marks the generation phase as over: an empty result
+    /// means the session is complete.
+    pub fn missing(&mut self) -> Vec<u32> {
+        let miss: Vec<u32> = (0..self.announced)
+            .filter(|seq| !self.received.contains_key(seq))
+            .collect();
+        if !miss.is_empty() {
+            self.retransmissions += 1;
+        }
+        miss
+    }
+
+    /// How many retransmission rounds this session needed.
+    pub fn retransmissions(&self) -> u32 {
+        self.retransmissions
+    }
+
+    /// Finish the session, yielding the complete AFR batch sorted by
+    /// sequence id.
+    ///
+    /// # Panics
+    /// Panics if called while AFRs are still missing — callers must
+    /// drive retransmission to completion first.
+    pub fn into_batch(self) -> Vec<FlowRecord> {
+        assert!(
+            self.received.len() as u32 >= self.announced,
+            "session for sub-window {} incomplete: {}/{}",
+            self.subwindow,
+            self.received.len(),
+            self.announced
+        );
+        let mut batch: Vec<FlowRecord> = self.received.into_values().collect();
+        batch.sort_by_key(|r| r.seq);
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_common::flowkey::FlowKey;
+
+    fn rec(seq: u32, sw: u32) -> FlowRecord {
+        let mut r = FlowRecord::frequency(FlowKey::src_ip(seq + 1), seq as u64, sw);
+        r.seq = seq;
+        r
+    }
+
+    #[test]
+    fn complete_session_without_loss() {
+        let mut s = CollectionSession::new(3, 5);
+        for seq in 0..5 {
+            s.receive(rec(seq, 3)).unwrap();
+        }
+        assert_eq!(s.status(), SessionStatus::Complete);
+        assert!(s.missing().is_empty());
+        assert_eq!(s.retransmissions(), 0);
+        let batch = s.into_batch();
+        assert_eq!(batch.len(), 5);
+        assert!(batch.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn loss_detected_and_recovered() {
+        let mut s = CollectionSession::new(0, 4);
+        s.receive(rec(0, 0)).unwrap();
+        s.receive(rec(2, 0)).unwrap();
+        assert_eq!(s.status(), SessionStatus::Collecting);
+        assert_eq!(s.missing(), vec![1, 3]);
+        assert_eq!(s.retransmissions(), 1);
+        // Retransmitted AFRs arrive.
+        s.receive(rec(1, 0)).unwrap();
+        s.receive(rec(3, 0)).unwrap();
+        assert_eq!(s.status(), SessionStatus::Complete);
+        assert_eq!(s.into_batch().len(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let mut s = CollectionSession::new(0, 2);
+        s.receive(rec(0, 0)).unwrap();
+        s.receive(rec(0, 0)).unwrap();
+        s.receive(rec(1, 0)).unwrap();
+        assert_eq!(s.into_batch().len(), 2);
+    }
+
+    #[test]
+    fn wrong_subwindow_rejected() {
+        let mut s = CollectionSession::new(1, 1);
+        assert!(s.receive(rec(0, 2)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn incomplete_batch_panics() {
+        let s = CollectionSession::new(0, 3);
+        let _ = s.into_batch();
+    }
+}

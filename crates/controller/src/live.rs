@@ -1,0 +1,191 @@
+//! A live, threaded switch→controller deployment.
+//!
+//! The simulation experiments run single-threaded on virtual time, but a
+//! real deployment has the data plane and the controller on different
+//! processors connected by a message stream. This module provides that
+//! runtime shape: a bounded crossbeam channel carries per-sub-window AFR
+//! batches from the (switch-side) producer thread to a controller thread
+//! that folds them into a shared, lock-protected merge table; queries
+//! read the table concurrently through the [`LiveHandle`].
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use ow_common::afr::FlowRecord;
+use ow_common::flowkey::FlowKey;
+
+use crate::table::MergeTable;
+
+/// A message from the data plane to the controller.
+#[derive(Debug, Clone)]
+pub enum DataPlaneMsg {
+    /// One terminated sub-window's AFR batch.
+    AfrBatch {
+        /// The terminated sub-window.
+        subwindow: u32,
+        /// Its AFRs.
+        afrs: Vec<FlowRecord>,
+    },
+    /// End of stream: the controller thread drains and exits.
+    Shutdown,
+}
+
+/// Shared handle for querying the live merge table.
+#[derive(Debug, Clone)]
+pub struct LiveHandle {
+    table: Arc<RwLock<MergeTable>>,
+    window_subwindows: usize,
+}
+
+impl LiveHandle {
+    /// Flows whose merged scalar is at least `threshold`, right now.
+    pub fn flows_over(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        self.table.read().flows_over(threshold)
+    }
+
+    /// Number of flows currently merged.
+    pub fn merged_flows(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// The sub-windows currently contributing to the table.
+    pub fn subwindows(&self) -> Vec<u32> {
+        self.table.read().subwindows()
+    }
+
+    /// Sub-windows per sliding window.
+    pub fn window_span(&self) -> usize {
+        self.window_subwindows
+    }
+}
+
+/// The running controller: its input channel, query handle, and thread.
+pub struct LiveController {
+    /// Send AFR batches (and finally `Shutdown`) here.
+    pub sender: Sender<DataPlaneMsg>,
+    /// Concurrent query access.
+    pub handle: LiveHandle,
+    thread: JoinHandle<u64>,
+}
+
+impl LiveController {
+    /// Spawn a controller maintaining a sliding window of
+    /// `window_subwindows` sub-windows. `queue_depth` bounds the channel
+    /// (back-pressure toward the data plane, as a NIC queue would).
+    pub fn spawn(window_subwindows: usize, queue_depth: usize) -> LiveController {
+        let (tx, rx): (Sender<DataPlaneMsg>, Receiver<DataPlaneMsg>) = bounded(queue_depth);
+        let table = Arc::new(RwLock::new(MergeTable::new()));
+        let handle = LiveHandle {
+            table: table.clone(),
+            window_subwindows,
+        };
+        let thread = std::thread::spawn(move || {
+            let mut batches = 0u64;
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    DataPlaneMsg::AfrBatch { subwindow, afrs } => {
+                        let mut t = table.write();
+                        t.insert_batch(subwindow, afrs);
+                        while t.subwindows().len() > window_subwindows {
+                            t.evict_oldest();
+                        }
+                        batches += 1;
+                    }
+                    DataPlaneMsg::Shutdown => break,
+                }
+            }
+            batches
+        });
+        LiveController {
+            sender: tx,
+            handle,
+            thread,
+        }
+    }
+
+    /// Signal shutdown and wait for the controller thread; returns the
+    /// number of batches it processed.
+    pub fn join(self) -> u64 {
+        let _ = self.sender.send(DataPlaneMsg::Shutdown);
+        self.thread.join().expect("controller thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(sw: u32, flows: std::ops::Range<u32>, n: u64) -> DataPlaneMsg {
+        DataPlaneMsg::AfrBatch {
+            subwindow: sw,
+            afrs: flows
+                .map(|i| FlowRecord::frequency(FlowKey::src_ip(i), n, sw))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn live_pipeline_merges_and_slides() {
+        let ctl = LiveController::spawn(2, 16);
+        ctl.sender.send(batch(0, 0..10, 60)).unwrap();
+        ctl.sender.send(batch(1, 0..10, 80)).unwrap();
+        // Wait for the controller to drain.
+        while ctl.handle.merged_flows() < 10 {
+            std::thread::yield_now();
+        }
+        // 60 + 80 = 140 ≥ 100: boundary flows visible live.
+        let mut over = Vec::new();
+        for _ in 0..1000 {
+            over = ctl.handle.flows_over(100.0);
+            if over.len() == 10 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(over.len(), 10);
+
+        // Slide: sub-window 2 evicts sub-window 0.
+        ctl.sender.send(batch(2, 0..10, 5)).unwrap();
+        let mut sws = Vec::new();
+        for _ in 0..10_000 {
+            sws = ctl.handle.subwindows();
+            if sws == vec![1, 2] {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(sws, vec![1, 2]);
+        assert_eq!(ctl.join(), 3);
+    }
+
+    #[test]
+    fn shutdown_without_traffic() {
+        let ctl = LiveController::spawn(5, 4);
+        assert_eq!(ctl.join(), 0);
+    }
+
+    #[test]
+    fn queries_concurrent_with_ingest() {
+        let ctl = LiveController::spawn(3, 64);
+        let handle = ctl.handle.clone();
+        let reader = std::thread::spawn(move || {
+            let mut max_seen = 0;
+            for _ in 0..200 {
+                max_seen = max_seen.max(handle.merged_flows());
+                std::thread::yield_now();
+            }
+            max_seen
+        });
+        for sw in 0..20u32 {
+            ctl.sender.send(batch(sw, 0..50, 1)).unwrap();
+        }
+        let _ = reader.join().unwrap();
+        let final_handle = ctl.handle.clone();
+        assert_eq!(ctl.join(), 20);
+        // Final state spans the last 3 sub-windows.
+        assert_eq!(final_handle.subwindows(), vec![17, 18, 19]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Scalar vs vectorised AFR aggregation (Exp#7).
+//!
+//! The paper merges AFRs with AVX-512: one instruction sums/maxes many
+//! AFRs' attributes at once. Portable Rust gets the same effect by
+//! arranging attributes in structure-of-arrays buffers and writing the
+//! merge as a chunked loop LLVM auto-vectorises. The bench compares the
+//! deliberately scalar form (`*_scalar`, with an `#[inline(never)]`
+//! per-element helper that defeats vectorisation) against the
+//! vectorisable form — the same comparison as Figure 12.
+
+/// Element-wise `dst[i] += src[i]` — scalar reference implementation.
+///
+/// The per-element helper is `#[inline(never)]` so the optimiser cannot
+/// fuse the loop into SIMD; this stands in for the paper's non-AVX path.
+pub fn sum_scalar(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for i in 0..dst.len() {
+        dst[i] = add_one(dst[i], src[i]);
+    }
+}
+
+#[inline(never)]
+fn add_one(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+/// Element-wise `dst[i] += src[i]` — vectorisable implementation.
+pub fn sum_vectorized(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = d.wrapping_add(*s);
+    }
+}
+
+/// Element-wise `dst[i] = max(dst[i], src[i])` — scalar reference.
+pub fn max_scalar(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for i in 0..dst.len() {
+        dst[i] = max_one(dst[i], src[i]);
+    }
+}
+
+#[inline(never)]
+fn max_one(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Element-wise max — vectorisable implementation.
+pub fn max_vectorized(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// Element-wise min — vectorisable implementation (completes the
+/// max/min pattern pair; the paper's figure shows sum and max).
+pub fn min_vectorized(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).min(*s);
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` over 32-bit attributes — the wire
+/// format of AFR flow attributes, and the layout the RDMA-collected
+/// key-value table keeps, giving the vector unit twice the lanes.
+pub fn sum_vectorized_u32(dst: &mut [u32], src: &[u32]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = d.wrapping_add(*s);
+    }
+}
+
+/// Element-wise max over 32-bit attributes.
+pub fn max_vectorized_u32(dst: &mut [u32], src: &[u32]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).max(*s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<u64>, Vec<u64>) {
+        let a: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(7) % 100).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn scalar_and_vectorized_sum_agree() {
+        let (a, b) = vecs(1000);
+        let mut d1 = a.clone();
+        let mut d2 = a.clone();
+        sum_scalar(&mut d1, &b);
+        sum_vectorized(&mut d2, &b);
+        assert_eq!(d1, d2);
+        assert_eq!(d1[10], a[10] + b[10]);
+    }
+
+    #[test]
+    fn scalar_and_vectorized_max_agree() {
+        let (a, b) = vecs(1000);
+        let mut d1 = a.clone();
+        let mut d2 = a.clone();
+        max_scalar(&mut d1, &b);
+        max_vectorized(&mut d2, &b);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn min_takes_minimum() {
+        let mut d = vec![5, 1, 9];
+        min_vectorized(&mut d, &[3, 2, 10]);
+        assert_eq!(d, vec![3, 1, 9]);
+    }
+
+    #[test]
+    fn sum_wraps_instead_of_panicking() {
+        let mut d = vec![u64::MAX];
+        sum_vectorized(&mut d, &[2]);
+        assert_eq!(d, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut d = vec![1, 2];
+        sum_vectorized(&mut d, &[1]);
+    }
+
+    #[test]
+    fn u32_variants_agree_with_u64() {
+        let a32: Vec<u32> = (0..500u32).collect();
+        let b32: Vec<u32> = (0..500u32).map(|i| i * 3 % 97).collect();
+        let mut d32 = a32.clone();
+        sum_vectorized_u32(&mut d32, &b32);
+        let mut m32 = a32.clone();
+        max_vectorized_u32(&mut m32, &b32);
+        for i in 0..500usize {
+            assert_eq!(d32[i], a32[i] + b32[i]);
+            assert_eq!(m32[i], a32[i].max(b32[i]));
+        }
+    }
+}

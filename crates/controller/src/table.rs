@@ -1,0 +1,304 @@
+//! The key-value merge table (§4.2 "Merging AFRs").
+//!
+//! The controller stores each sub-window's AFR batch and merges batches
+//! into complete windows. Merging follows the statistic's pattern
+//! (frequency → sum, existence → OR, max/min → extremum, distinction →
+//! bitmap union). For sliding windows, the table supports incremental
+//! advance: add the newest sub-window, evict the oldest — subtracting
+//! frequency statistics in place (Exp#4's O5) and recomputing the
+//! non-subtractable patterns from the retained batches.
+
+use std::collections::HashMap;
+
+use ow_common::afr::{AttrValue, FlowRecord};
+use ow_common::flowkey::FlowKey;
+
+/// The controller's merge table over a span of sub-windows.
+///
+/// The §4.1 motivating case — 60 packets in one sub-window, 80 in the
+/// next, threshold 100 — detected only after merging:
+///
+/// ```
+/// use ow_controller::table::MergeTable;
+/// use ow_common::afr::FlowRecord;
+/// use ow_common::flowkey::FlowKey;
+///
+/// let flow = FlowKey::five_tuple(1, 2, 3, 4, 6);
+/// let mut table = MergeTable::new();
+/// table.insert_batch(0, vec![FlowRecord::frequency(flow, 60, 0)]);
+/// table.insert_batch(1, vec![FlowRecord::frequency(flow, 80, 1)]);
+/// assert_eq!(table.flows_over(100.0), vec![(flow, 140.0)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MergeTable {
+    /// Retained per-sub-window batches, oldest first.
+    batches: Vec<(u32, Vec<FlowRecord>)>,
+    /// The merged view across all retained batches.
+    merged: HashMap<FlowKey, AttrValue>,
+}
+
+impl MergeTable {
+    /// An empty table.
+    pub fn new() -> MergeTable {
+        MergeTable::default()
+    }
+
+    /// Sub-windows currently merged (oldest first).
+    pub fn subwindows(&self) -> Vec<u32> {
+        self.batches.iter().map(|(sw, _)| *sw).collect()
+    }
+
+    /// Number of flows in the merged view.
+    pub fn len(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// Whether the merged view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.merged.is_empty()
+    }
+
+    /// Insert one sub-window's AFR batch and fold it into the merged
+    /// view (Exp#4 operations O2+O3).
+    pub fn insert_batch(&mut self, subwindow: u32, afrs: Vec<FlowRecord>) {
+        for rec in &afrs {
+            match self.merged.get_mut(&rec.key) {
+                Some(v) => {
+                    // Pattern mismatches cannot happen within one app; a
+                    // corrupted record must not poison the table.
+                    let _ = v.merge(&rec.attr);
+                }
+                None => {
+                    self.merged.insert(rec.key, rec.attr);
+                }
+            }
+        }
+        self.batches.push((subwindow, afrs));
+    }
+
+    /// Evict the oldest sub-window (sliding-window advance, O5).
+    ///
+    /// Frequency statistics are subtracted in place; other patterns are
+    /// recomputed from the retained batches (they are not invertible).
+    /// Flows that only appeared in the evicted sub-window are removed.
+    pub fn evict_oldest(&mut self) -> Option<u32> {
+        if self.batches.is_empty() {
+            return None;
+        }
+        let (evicted_sw, evicted) = self.batches.remove(0);
+
+        // Which keys still appear in retained batches?
+        let mut retained_keys: HashMap<FlowKey, bool> = HashMap::new();
+        for (_, batch) in &self.batches {
+            for rec in batch {
+                retained_keys.insert(rec.key, true);
+            }
+        }
+
+        let mut needs_recompute: Vec<FlowKey> = Vec::new();
+        for rec in &evicted {
+            if !retained_keys.contains_key(&rec.key) {
+                self.merged.remove(&rec.key);
+                continue;
+            }
+            match rec.attr {
+                AttrValue::Frequency(_) => {
+                    if let Some(v) = self.merged.get_mut(&rec.key) {
+                        let _ = v.unmerge_frequency(&rec.attr);
+                    }
+                }
+                _ => needs_recompute.push(rec.key),
+            }
+        }
+
+        // Recompute non-invertible patterns from scratch.
+        needs_recompute.sort_by_key(|k| k.as_u128());
+        needs_recompute.dedup();
+        for key in needs_recompute {
+            let mut acc: Option<AttrValue> = None;
+            for (_, batch) in &self.batches {
+                for rec in batch.iter().filter(|r| r.key == key) {
+                    match &mut acc {
+                        Some(v) => {
+                            let _ = v.merge(&rec.attr);
+                        }
+                        None => acc = Some(rec.attr),
+                    }
+                }
+            }
+            match acc {
+                Some(v) => {
+                    self.merged.insert(key, v);
+                }
+                None => {
+                    self.merged.remove(&key);
+                }
+            }
+        }
+        Some(evicted_sw)
+    }
+
+    /// The merged statistic for one flow.
+    pub fn get(&self, key: &FlowKey) -> Option<&AttrValue> {
+        self.merged.get(key)
+    }
+
+    /// Iterate over the merged view.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, &AttrValue)> {
+        self.merged.iter()
+    }
+
+    /// Threshold query (O4): flows whose merged scalar ≥ `threshold` —
+    /// the heavy-hitter / anomaly reporting step.
+    pub fn flows_over(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        let mut out: Vec<(FlowKey, f64)> = self
+            .merged
+            .iter()
+            .map(|(k, v)| (*k, v.scalar()))
+            .filter(|(_, s)| *s >= threshold)
+            .collect();
+        out.sort_by_key(|(k, _)| k.as_u128());
+        out
+    }
+
+    /// Drop everything (tumbling-window release, step 6 of §4.2).
+    pub fn clear(&mut self) {
+        self.batches.clear();
+        self.merged.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_common::afr::DistinctBitmap;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::src_ip(i)
+    }
+
+    fn freq(i: u32, n: u64, sw: u32) -> FlowRecord {
+        FlowRecord::frequency(key(i), n, sw)
+    }
+
+    #[test]
+    fn boundary_flow_found_after_merge() {
+        // The §4.1 motivating case: 60 + 80 packets across two
+        // sub-windows crosses the 100 threshold only after merging.
+        let mut t = MergeTable::new();
+        t.insert_batch(0, vec![freq(1, 60, 0)]);
+        t.insert_batch(1, vec![freq(1, 80, 1)]);
+        let over = t.flows_over(100.0);
+        assert_eq!(over, vec![(key(1), 140.0)]);
+    }
+
+    #[test]
+    fn eviction_subtracts_frequency() {
+        let mut t = MergeTable::new();
+        t.insert_batch(0, vec![freq(1, 60, 0)]);
+        t.insert_batch(1, vec![freq(1, 80, 1)]);
+        assert_eq!(t.evict_oldest(), Some(0));
+        assert_eq!(t.get(&key(1)), Some(&AttrValue::Frequency(80)));
+    }
+
+    #[test]
+    fn eviction_removes_vanished_flows() {
+        let mut t = MergeTable::new();
+        t.insert_batch(0, vec![freq(1, 5, 0), freq(2, 7, 0)]);
+        t.insert_batch(1, vec![freq(1, 3, 1)]);
+        t.evict_oldest();
+        assert_eq!(t.get(&key(2)), None);
+        assert_eq!(t.get(&key(1)), Some(&AttrValue::Frequency(3)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn max_recomputed_on_eviction() {
+        let mut t = MergeTable::new();
+        t.insert_batch(
+            0,
+            vec![FlowRecord {
+                key: key(1),
+                attr: AttrValue::Max(100),
+                subwindow: 0,
+                seq: 0,
+            }],
+        );
+        t.insert_batch(
+            1,
+            vec![FlowRecord {
+                key: key(1),
+                attr: AttrValue::Max(40),
+                subwindow: 1,
+                seq: 0,
+            }],
+        );
+        assert_eq!(t.get(&key(1)), Some(&AttrValue::Max(100)));
+        t.evict_oldest();
+        // Max is not invertible: must recompute to 40, not keep 100.
+        assert_eq!(t.get(&key(1)), Some(&AttrValue::Max(40)));
+    }
+
+    #[test]
+    fn distinction_merges_by_union() {
+        let mut a = DistinctBitmap::default();
+        a.insert_hash(111);
+        a.insert_hash(222);
+        let mut b = DistinctBitmap::default();
+        b.insert_hash(222);
+        b.insert_hash(333);
+        let mut t = MergeTable::new();
+        t.insert_batch(
+            0,
+            vec![FlowRecord {
+                key: key(1),
+                attr: AttrValue::Distinction(a),
+                subwindow: 0,
+                seq: 0,
+            }],
+        );
+        t.insert_batch(
+            1,
+            vec![FlowRecord {
+                key: key(1),
+                attr: AttrValue::Distinction(b),
+                subwindow: 1,
+                seq: 0,
+            }],
+        );
+        match t.get(&key(1)).unwrap() {
+            AttrValue::Distinction(bm) => assert_eq!(bm.ones(), 3),
+            other => panic!("wrong pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sliding_advance_keeps_window_span() {
+        // Five sub-windows per window, sliding by one.
+        let mut t = MergeTable::new();
+        for sw in 0..5 {
+            t.insert_batch(sw, vec![freq(1, 10, sw)]);
+        }
+        assert_eq!(t.get(&key(1)), Some(&AttrValue::Frequency(50)));
+        // Slide: add sw5, evict sw0.
+        t.insert_batch(5, vec![freq(1, 20, 5)]);
+        t.evict_oldest();
+        assert_eq!(t.subwindows(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(t.get(&key(1)), Some(&AttrValue::Frequency(60)));
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let mut t = MergeTable::new();
+        t.insert_batch(0, vec![freq(1, 1, 0)]);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.subwindows().is_empty());
+    }
+
+    #[test]
+    fn evict_empty_is_none() {
+        let mut t = MergeTable::new();
+        assert_eq!(t.evict_oldest(), None);
+    }
+}

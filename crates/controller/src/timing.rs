@@ -1,0 +1,332 @@
+//! The O1–O5 instrumented controller (Exp#4).
+//!
+//! Wraps the merge pipeline with wall-clock timers around the five
+//! controller operations the paper breaks down:
+//!
+//! * **O1** — collect the sub-window's AFRs (receive/stage the batch),
+//! * **O2** — insert AFRs into the key-value table (hash + slot
+//!   allocation, the `rte_hash` work),
+//! * **O3** — merge each flow's AFR into its slot,
+//! * **O4** — process the merged result (threshold query) — once per
+//!   complete window for tumbling, after every sub-window for sliding,
+//! * **O5** — remove the oldest sub-window (sliding only): subtract
+//!   frequency contributions and delete flows whose reference count
+//!   drops to zero.
+//!
+//! The table is reference-counted per flow so eviction is O(batch), the
+//! same trick the paper's controller needs to stay under the sub-window
+//! budget. Timings use `std::time::Instant` (real CPU time): these
+//! operations run on the controller host in the real system too.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use ow_common::afr::{AttrValue, FlowRecord};
+use ow_common::flowkey::FlowKey;
+use ow_common::hash::FastMap;
+
+/// Window reconstruction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Non-overlapping windows of `subwindows` sub-windows each.
+    Tumbling {
+        /// Sub-windows per window.
+        subwindows: usize,
+    },
+    /// Overlapping windows of `subwindows` sub-windows, sliding by one.
+    Sliding {
+        /// Sub-windows per window.
+        subwindows: usize,
+    },
+}
+
+/// Wall-clock breakdown of one sub-window's controller work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpBreakdown {
+    /// Sub-window this breakdown describes.
+    pub subwindow: u32,
+    /// O1: AFR collection/staging.
+    pub o1_collect: Duration,
+    /// O2: key-value table insertion.
+    pub o2_insert: Duration,
+    /// O3: per-flow merging.
+    pub o3_merge: Duration,
+    /// O4: merged-result processing.
+    pub o4_process: Duration,
+    /// O5: oldest-sub-window removal (sliding only).
+    pub o5_evict: Duration,
+}
+
+impl OpBreakdown {
+    /// Total controller time for the sub-window.
+    pub fn total(&self) -> Duration {
+        self.o1_collect + self.o2_insert + self.o3_merge + self.o4_process + self.o5_evict
+    }
+}
+
+/// One key-value table slot: the merged value plus the number of
+/// retained sub-windows the key appears in.
+#[derive(Debug, Clone)]
+struct Slot {
+    value: AttrValue,
+    refs: u32,
+}
+
+/// The instrumented controller.
+#[derive(Debug)]
+pub struct InstrumentedController {
+    mode: WindowMode,
+    threshold: f64,
+    /// Retained per-sub-window batches, oldest first.
+    batches: VecDeque<(u32, Vec<FlowRecord>)>,
+    /// The reference-counted key-value table.
+    table: FastMap<FlowKey, Slot>,
+    /// Per-sub-window breakdowns.
+    breakdowns: Vec<OpBreakdown>,
+    /// Reported flow sets, one per completed window.
+    reports: Vec<Vec<FlowKey>>,
+}
+
+impl InstrumentedController {
+    /// Create a controller reporting flows whose merged scalar ≥
+    /// `threshold`.
+    pub fn new(mode: WindowMode, threshold: f64) -> InstrumentedController {
+        InstrumentedController {
+            mode,
+            threshold,
+            batches: VecDeque::new(),
+            table: FastMap::default(),
+            breakdowns: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Process one terminated sub-window's AFR stream, timing O1–O5.
+    pub fn ingest(&mut self, subwindow: u32, incoming: &[FlowRecord]) -> OpBreakdown {
+        let mut bd = OpBreakdown {
+            subwindow,
+            ..OpBreakdown::default()
+        };
+
+        // O1: collect — stage the batch (the DPDK receive loop's copy).
+        let t = Instant::now();
+        let mut staged: Vec<FlowRecord> = Vec::with_capacity(incoming.len());
+        staged.extend_from_slice(incoming);
+        bd.o1_collect = t.elapsed();
+
+        // O2: insert — hash each key, allocate its slot if new, bump its
+        // reference count (the rte_hash insert).
+        let t = Instant::now();
+        for rec in &staged {
+            let slot = self.table.entry(rec.key).or_insert_with(|| Slot {
+                value: AttrValue::identity(rec.attr.kind()),
+                refs: 0,
+            });
+            slot.refs += 1;
+        }
+        bd.o2_insert = t.elapsed();
+
+        // O3: merge each flow's attribute into its slot.
+        let t = Instant::now();
+        for rec in &staged {
+            if let Some(slot) = self.table.get_mut(&rec.key) {
+                let _ = slot.value.merge(&rec.attr);
+            }
+        }
+        bd.o3_merge = t.elapsed();
+
+        self.batches.push_back((subwindow, staged));
+
+        match self.mode {
+            WindowMode::Tumbling { subwindows } => {
+                if self.batches.len() >= subwindows {
+                    // O4: process once per complete window, then release.
+                    let t = Instant::now();
+                    let report = self.query();
+                    bd.o4_process = t.elapsed();
+                    self.reports.push(report);
+                    self.batches.clear();
+                    self.table.clear();
+                }
+            }
+            WindowMode::Sliding { subwindows } => {
+                if self.batches.len() >= subwindows {
+                    // O4: process after every sub-window once full.
+                    let t = Instant::now();
+                    let report = self.query();
+                    bd.o4_process = t.elapsed();
+                    self.reports.push(report);
+
+                    // O5: evict the oldest sub-window.
+                    let t = Instant::now();
+                    self.evict_oldest();
+                    bd.o5_evict = t.elapsed();
+                }
+            }
+        }
+
+        self.breakdowns.push(bd);
+        bd
+    }
+
+    fn query(&self) -> Vec<FlowKey> {
+        let mut out: Vec<FlowKey> = self
+            .table
+            .iter()
+            .filter(|(_, s)| s.value.scalar() >= self.threshold)
+            .map(|(k, _)| *k)
+            .collect();
+        out.sort_by_key(|k| k.as_u128());
+        out
+    }
+
+    /// O5: subtract the oldest batch. Frequency values are subtracted in
+    /// place; flows whose reference count reaches zero are deleted; the
+    /// rare non-invertible patterns are recomputed from the retained
+    /// batches (only for the affected keys).
+    fn evict_oldest(&mut self) {
+        let Some((_, evicted)) = self.batches.pop_front() else {
+            return;
+        };
+        let mut recompute: Vec<FlowKey> = Vec::new();
+        for rec in &evicted {
+            let Some(slot) = self.table.get_mut(&rec.key) else {
+                continue;
+            };
+            slot.refs -= 1;
+            if slot.refs == 0 {
+                self.table.remove(&rec.key);
+                continue;
+            }
+            match rec.attr {
+                AttrValue::Frequency(_) => {
+                    let _ = slot.value.unmerge_frequency(&rec.attr);
+                }
+                AttrValue::Signed(v) => {
+                    let _ = slot.value.merge(&AttrValue::Signed(-v));
+                }
+                _ => recompute.push(rec.key),
+            }
+        }
+        for key in recompute {
+            let mut acc: Option<AttrValue> = None;
+            for (_, batch) in &self.batches {
+                for r in batch.iter().filter(|r| r.key == key) {
+                    match &mut acc {
+                        Some(v) => {
+                            let _ = v.merge(&r.attr);
+                        }
+                        None => acc = Some(r.attr),
+                    }
+                }
+            }
+            if let Some(v) = acc {
+                if let Some(slot) = self.table.get_mut(&key) {
+                    slot.value = v;
+                }
+            }
+        }
+    }
+
+    /// All per-sub-window breakdowns so far.
+    pub fn breakdowns(&self) -> &[OpBreakdown] {
+        &self.breakdowns
+    }
+
+    /// Reported flow sets, one per completed window.
+    pub fn reports(&self) -> &[Vec<FlowKey>] {
+        &self.reports
+    }
+
+    /// Current merged-view size.
+    pub fn merged_flows(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(sw: u32, flows: std::ops::Range<u32>, count: u64) -> Vec<FlowRecord> {
+        flows
+            .map(|i| FlowRecord::frequency(FlowKey::src_ip(i), count, sw))
+            .collect()
+    }
+
+    #[test]
+    fn tumbling_reports_once_per_window() {
+        let mut c = InstrumentedController::new(WindowMode::Tumbling { subwindows: 3 }, 25.0);
+        c.ingest(0, &batch(0, 0..10, 10));
+        c.ingest(1, &batch(1, 0..10, 10));
+        assert!(c.reports().is_empty());
+        c.ingest(2, &batch(2, 0..10, 10));
+        assert_eq!(c.reports().len(), 1);
+        // 3 × 10 = 30 ≥ 25: every flow reported.
+        assert_eq!(c.reports()[0].len(), 10);
+        // Table released after the window.
+        assert_eq!(c.merged_flows(), 0);
+    }
+
+    #[test]
+    fn sliding_reports_every_subwindow_once_full() {
+        let mut c = InstrumentedController::new(WindowMode::Sliding { subwindows: 2 }, 15.0);
+        c.ingest(0, &batch(0, 0..5, 10));
+        assert!(c.reports().is_empty());
+        c.ingest(1, &batch(1, 0..5, 10));
+        assert_eq!(c.reports().len(), 1);
+        c.ingest(2, &batch(2, 0..5, 10));
+        assert_eq!(c.reports().len(), 2);
+        // After eviction, the merged window spans exactly 2 sub-windows.
+        assert_eq!(c.merged_flows(), 5);
+    }
+
+    #[test]
+    fn sliding_eviction_subtracts_and_deletes() {
+        let mut c = InstrumentedController::new(WindowMode::Sliding { subwindows: 2 }, 10_000.0);
+        // Flow 0 in all sub-windows; flow 99 only in sub-window 0.
+        let mut b0 = batch(0, 0..1, 100);
+        b0.extend(batch(0, 99..100, 7));
+        c.ingest(0, &b0);
+        c.ingest(1, &batch(1, 0..1, 10));
+        // Window [0,1] processed; sub-window 0 evicted.
+        c.ingest(2, &batch(2, 0..1, 1));
+        // Flow 99 appeared only in the evicted sub-window → deleted.
+        assert_eq!(c.merged_flows(), 1);
+    }
+
+    #[test]
+    fn signed_eviction_negates() {
+        let mut c = InstrumentedController::new(WindowMode::Sliding { subwindows: 2 }, 1e18);
+        let rec = |sw: u32, v: i64| {
+            vec![FlowRecord {
+                key: FlowKey::src_ip(1),
+                attr: AttrValue::Signed(v),
+                subwindow: sw,
+                seq: 0,
+            }]
+        };
+        c.ingest(0, &rec(0, 5));
+        c.ingest(1, &rec(1, 3));
+        c.ingest(2, &rec(2, -2));
+        // ingest(2) reported window [1,2] (3 + (−2) = 1) and then evicted
+        // sub-window 1, so the table now holds only sub-window 2's −2 —
+        // the signed negation must have removed sub-window 1's +3.
+        assert_eq!(
+            c.table.get(&FlowKey::src_ip(1)).unwrap().value,
+            AttrValue::Signed(-2)
+        );
+    }
+
+    #[test]
+    fn breakdowns_recorded_per_subwindow() {
+        let mut c = InstrumentedController::new(WindowMode::Sliding { subwindows: 2 }, 5.0);
+        for sw in 0..4 {
+            c.ingest(sw, &batch(sw, 0..100, 1));
+        }
+        assert_eq!(c.breakdowns().len(), 4);
+        // O5 only fires once the window is full.
+        assert_eq!(c.breakdowns()[0].o5_evict, Duration::ZERO);
+        assert!(c.breakdowns()[3].total() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,18 @@
+//! Exp#5 (Table 2): switch hardware resource breakdown.
+//!
+//! Thin wrapper over the resource accountant: the per-feature rows,
+//! totals after stage/VLIW sharing, and the normalisation against the
+//! host program (Q1 + switch.p4).
+
+use ow_switch::resources::{ResourceConfig, ResourceReport};
+
+/// Run Exp#5 for the default (paper) configuration.
+pub fn run() -> ResourceReport {
+    ResourceReport::for_config(&ResourceConfig::default())
+}
+
+/// Run Exp#5 for a custom configuration (ablations: flowkey-array size,
+/// RDMA on/off).
+pub fn run_with(cfg: &ResourceConfig) -> ResourceReport {
+    ResourceReport::for_config(cfg)
+}

@@ -1,0 +1,239 @@
+//! Windows delimited by arbitrary termination signals (§5).
+//!
+//! The timeout-based mechanisms in [`crate::mechanisms`] cover the
+//! evaluation's fixed-length sub-windows; this module runs a telemetry
+//! application under *any* [`WindowSignal`] — counter windows ("a new
+//! window every N TCP packets"), session windows (closed by inactivity,
+//! so their lengths vary), or user-defined windows (application-embedded
+//! boundaries, the Exp#3 pattern). Each signal-delimited segment is one
+//! window: the data-plane state is collected and reset at every
+//! termination, exactly as a sub-window would be.
+
+use std::collections::HashMap;
+
+use ow_common::flowkey::FlowKey;
+use ow_common::time::Instant;
+use ow_switch::signal::{SignalEngine, WindowSignal};
+use ow_trace::Trace;
+
+use crate::app::WindowApp;
+use crate::mechanisms::WindowResult;
+
+/// A signal-delimited window's bounds (for inspection and plotting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowBounds {
+    /// The signal engine's window number.
+    pub number: u32,
+    /// Timestamp of the window's first packet.
+    pub first_packet: Instant,
+    /// Timestamp of the window's last packet.
+    pub last_packet: Instant,
+    /// Packets measured in the window.
+    pub packets: u64,
+}
+
+/// Outcome of a signal-window run.
+#[derive(Debug, Clone)]
+pub struct SignalWindowRun {
+    /// Per-window reports (keys passing the app's predicate).
+    pub windows: Vec<WindowResult>,
+    /// Per-window bounds (same order as `windows`).
+    pub bounds: Vec<WindowBounds>,
+}
+
+/// Run `app` under `signal`: every termination closes a window, reports
+/// it from the structure's resident keys plus the `probes`, and resets
+/// the state for the next window.
+pub fn run_signal_windows<A: WindowApp>(
+    app: &A,
+    trace: &Trace,
+    signal: WindowSignal,
+    memory_bytes: usize,
+    seed: u64,
+    probes: &[FlowKey],
+) -> SignalWindowRun {
+    // Boundary semantics differ per signal: a counter fires *on* the
+    // packet that reaches the threshold (that packet is the old window's
+    // last), while timeout/session/user-defined signals fire on the first
+    // packet *after* the boundary (that packet opens the new window).
+    let inclusive = matches!(signal, WindowSignal::Counter { .. });
+    let mut engine = SignalEngine::new(signal);
+    let mut state = app.make_state(memory_bytes, seed);
+    let mut windows = Vec::new();
+    let mut bounds = Vec::new();
+
+    let mut current: Option<WindowBounds> = None;
+    let mut index = 0usize;
+
+    let close = |state: &mut A::State,
+                 b: WindowBounds,
+                 windows: &mut Vec<WindowResult>,
+                 bounds: &mut Vec<WindowBounds>,
+                 index: &mut usize| {
+        let reported = app
+            .resident_keys(state)
+            .into_iter()
+            .filter(|k| app.passes_attr(&app.query(state, k)))
+            .collect();
+        let estimates: HashMap<FlowKey, f64> = probes
+            .iter()
+            .map(|k| (*k, app.query(state, k).scalar()))
+            .collect();
+        windows.push(WindowResult {
+            index: *index,
+            reported,
+            estimates,
+        });
+        bounds.push(b);
+        app.reset(state);
+        *index += 1;
+    };
+
+    for pkt in trace.iter() {
+        // The signal engine sees every packet (its counters/session state
+        // are window machinery, not application state)…
+        let terminated = engine.on_packet(pkt).is_some();
+        if terminated && !inclusive {
+            if let Some(b) = current.take() {
+                close(&mut state, b, &mut windows, &mut bounds, &mut index);
+            }
+        }
+        // …while the application only sees packets passing its filter.
+        if app.filter(pkt) {
+            app.update(&mut state, pkt);
+        }
+        let b = current.get_or_insert(WindowBounds {
+            number: engine.current(),
+            first_packet: pkt.ts,
+            last_packet: pkt.ts,
+            packets: 0,
+        });
+        b.number = engine.current();
+        b.last_packet = pkt.ts;
+        b.packets += 1;
+        if terminated && inclusive {
+            if let Some(b) = current.take() {
+                close(&mut state, b, &mut windows, &mut bounds, &mut index);
+            }
+        }
+    }
+    if let Some(b) = current.take() {
+        close(&mut state, b, &mut windows, &mut bounds, &mut index);
+    }
+
+    SignalWindowRun { windows, bounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::HeavyHitterApp;
+    use ow_common::packet::{Packet, TcpFlags};
+    use ow_common::time::Duration;
+
+    fn pkt(src: u32, ms: u64) -> Packet {
+        Packet::tcp(Instant::from_millis(ms), src, 9, 1, 80, TcpFlags::ack(), 64)
+    }
+
+    fn trace(packets: Vec<Packet>) -> Trace {
+        let duration = Duration::from_millis(
+            packets
+                .last()
+                .map(|p| p.ts.as_nanos() / 1_000_000 + 1)
+                .unwrap_or(1),
+        );
+        Trace { packets, duration }
+    }
+
+    #[test]
+    fn counter_windows_hold_exactly_n_packets() {
+        // 25 packets, a window every 10: windows of 10/10/5.
+        let app = HeavyHitterApp::mv(5);
+        let packets: Vec<Packet> = (0..25u64).map(|i| pkt(1, i)).collect();
+        let run = run_signal_windows(
+            &app,
+            &trace(packets),
+            WindowSignal::Counter {
+                threshold: 10,
+                predicate: None,
+            },
+            64 * 1024,
+            1,
+            &[],
+        );
+        let counts: Vec<u64> = run.bounds.iter().map(|b| b.packets).collect();
+        assert_eq!(counts, vec![10, 10, 5]);
+        // The first two windows report flow 1 (10 ≥ 5), the last too (5 ≥ 5).
+        assert!(run.windows.iter().all(|w| w.reported.len() == 1));
+    }
+
+    #[test]
+    fn session_windows_have_variable_lengths() {
+        // Two bursts separated by a 300 ms gap: two session windows of
+        // different durations.
+        let app = HeavyHitterApp::mv(100);
+        let mut packets: Vec<Packet> = (0..20u64).map(|i| pkt(1, i * 2)).collect();
+        packets.extend((0..5u64).map(|i| pkt(2, 400 + i * 10)));
+        let run = run_signal_windows(
+            &app,
+            &trace(packets),
+            WindowSignal::Session(Duration::from_millis(100)),
+            64 * 1024,
+            2,
+            &[],
+        );
+        assert_eq!(run.bounds.len(), 2);
+        assert_eq!(run.bounds[0].packets, 20);
+        assert_eq!(run.bounds[1].packets, 5);
+        // Durations differ: ~38 ms vs ~40 ms spans starting 400 ms apart.
+        assert!(run.bounds[0].first_packet < Instant::from_millis(100));
+        assert!(run.bounds[1].first_packet >= Instant::from_millis(400));
+    }
+
+    #[test]
+    fn user_defined_windows_follow_tags() {
+        let app = HeavyHitterApp::mv(1);
+        let mut packets = Vec::new();
+        for (i, tag) in [(0u64, 1u32), (1, 1), (2, 2), (3, 2), (4, 2), (5, 3)] {
+            let mut p = pkt(10 + tag, i);
+            p.app_tag = tag;
+            packets.push(p);
+        }
+        let run = run_signal_windows(
+            &app,
+            &trace(packets),
+            WindowSignal::UserDefined,
+            64 * 1024,
+            3,
+            &[],
+        );
+        let counts: Vec<u64> = run.bounds.iter().map(|b| b.packets).collect();
+        assert_eq!(counts, vec![2, 3, 1]);
+        // Each window reports only its own tag's flow.
+        assert_eq!(run.windows[0].reported.len(), 1);
+        assert!(run.windows[0].reported.contains(&pkt(11, 0).five_tuple()));
+        assert!(run.windows[1].reported.contains(&pkt(12, 0).five_tuple()));
+    }
+
+    #[test]
+    fn probes_recorded_per_window() {
+        let app = HeavyHitterApp::mv(1_000);
+        let packets: Vec<Packet> = (0..9u64).map(|i| pkt(1, i)).collect();
+        let key = pkt(1, 0).five_tuple();
+        let run = run_signal_windows(
+            &app,
+            &trace(packets),
+            WindowSignal::Counter {
+                threshold: 3,
+                predicate: None,
+            },
+            64 * 1024,
+            4,
+            &[key],
+        );
+        assert_eq!(run.windows.len(), 3);
+        for w in &run.windows {
+            assert_eq!(w.estimates[&key], 3.0);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Error-free query execution (ideal-window ground truth).
+//!
+//! Maintains an exact per-key statistic in a hash map — what the paper's
+//! ITW/ISW baselines compute offline with "error-free data structures".
+
+use std::collections::{HashMap, HashSet};
+
+use ow_common::afr::AttrValue;
+use ow_common::flowkey::FlowKey;
+use ow_common::hash::mix64;
+use ow_common::packet::Packet;
+
+use crate::spec::{QuerySpec, StatKind};
+
+/// Apply one packet to an attribute value under a query's statistic.
+pub(crate) fn update_attr(attr: &mut AttrValue, spec: &QuerySpec, pkt: &Packet) {
+    match (spec.stat, attr) {
+        (StatKind::Count, AttrValue::Frequency(v)) => *v += 1,
+        (StatKind::Distinct(el), AttrValue::Distinction(bm)) => {
+            bm.insert_hash(mix64(el.extract(pkt) ^ 0xD157));
+        }
+        (StatKind::CountDiff { plus, minus }, AttrValue::Signed(v)) => {
+            if plus(pkt) {
+                *v += 1;
+            }
+            if minus(pkt) {
+                *v -= 1;
+            }
+        }
+        (StatKind::ConnBytes, AttrValue::ConnBytes { conns, bytes }) => {
+            let conn = ((pkt.src_ip as u64) << 16) | pkt.src_port as u64;
+            conns.insert_hash(mix64(conn ^ 0xC077));
+            *bytes += pkt.wire_len as u64;
+        }
+        _ => unreachable!("attr initialised from spec.stat"),
+    }
+}
+
+/// Exact (error-free) execution of one query over one window.
+#[derive(Debug, Clone)]
+pub struct ExactEngine {
+    spec: QuerySpec,
+    state: HashMap<FlowKey, AttrValue>,
+}
+
+impl ExactEngine {
+    /// Create an engine for `spec`.
+    pub fn new(spec: QuerySpec) -> ExactEngine {
+        ExactEngine {
+            spec,
+            state: HashMap::new(),
+        }
+    }
+
+    /// The query being executed.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Process one packet.
+    pub fn update(&mut self, pkt: &Packet) {
+        if !(self.spec.filter)(pkt) {
+            return;
+        }
+        let key = pkt.key(self.spec.key_kind);
+        let attr = self
+            .state
+            .entry(key)
+            .or_insert_with(|| AttrValue::identity(self.spec.stat.attr_kind()));
+        update_attr(attr, &self.spec, pkt);
+    }
+
+    /// The exact statistic for one key.
+    pub fn query(&self, key: &FlowKey) -> AttrValue {
+        self.state
+            .get(key)
+            .copied()
+            .unwrap_or_else(|| AttrValue::identity(self.spec.stat.attr_kind()))
+    }
+
+    /// Keys whose statistic triggers the report predicate.
+    pub fn report(&self) -> HashSet<FlowKey> {
+        self.state
+            .iter()
+            .filter(|(_, v)| self.spec.passes(v))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// All tracked keys with their statistics.
+    pub fn entries(&self) -> impl Iterator<Item = (&FlowKey, &AttrValue)> {
+        self.state.iter()
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether no key is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Clear the window's state.
+    pub fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::standard_queries;
+    use ow_common::packet::TcpFlags;
+    use ow_common::time::Instant;
+
+    fn syn(src: u32, dst: u32, sport: u16, dport: u16) -> Packet {
+        Packet::tcp(Instant::ZERO, src, dst, sport, dport, TcpFlags::syn(), 64)
+    }
+
+    #[test]
+    fn q5_counts_syns_per_victim() {
+        let q5 = standard_queries()[4];
+        let mut e = ExactEngine::new(q5);
+        for i in 0..100 {
+            e.update(&syn(1000 + i, 7, 1000, 80));
+        }
+        let victim = FlowKey::dst_ip(7);
+        assert_eq!(e.query(&victim), AttrValue::Frequency(100));
+        assert!(e.report().contains(&victim));
+    }
+
+    #[test]
+    fn q3_counts_distinct_ports() {
+        let q3 = standard_queries()[2];
+        let mut e = ExactEngine::new(q3);
+        // 100 distinct ports probed, each twice (duplicates must not count).
+        for _ in 0..2 {
+            for port in 0..100u16 {
+                e.update(&syn(1, 7, 1000, port + 1));
+            }
+        }
+        let victim = FlowKey::dst_ip(7);
+        let est = e.query(&victim).scalar();
+        assert!((80.0..130.0).contains(&est), "distinct ports {est}");
+        assert!(e.report().contains(&victim));
+    }
+
+    #[test]
+    fn q6_diff_counts_incomplete_flows() {
+        let q6 = standard_queries()[5];
+        let mut e = ExactEngine::new(q6);
+        // 60 opens, 10 closes → diff 50 ≥ threshold.
+        for i in 0..60u16 {
+            e.update(&syn(1, 7, 2000 + i, 443));
+        }
+        for i in 0..10u16 {
+            let p = Packet::tcp(Instant::ZERO, 1, 7, 2000 + i, 443, TcpFlags::fin_ack(), 64);
+            e.update(&p);
+        }
+        assert_eq!(e.query(&FlowKey::dst_ip(7)), AttrValue::Signed(50));
+        assert!(e.report().contains(&FlowKey::dst_ip(7)));
+    }
+
+    #[test]
+    fn filter_excludes_non_matching_packets() {
+        let q2 = standard_queries()[1];
+        let mut e = ExactEngine::new(q2);
+        for i in 0..50 {
+            e.update(&syn(i, 7, 1000, 80)); // port 80, not SSH
+        }
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_reports() {
+        let q5 = standard_queries()[4];
+        let mut e = ExactEngine::new(q5);
+        for i in 0..100 {
+            e.update(&syn(1000 + i, 7, 1000, 80));
+        }
+        e.reset();
+        assert!(e.report().is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}

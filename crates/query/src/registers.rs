@@ -1,0 +1,216 @@
+//! The data-plane register engine — Sonata's stateful operators as they
+//! actually behave on the switch.
+//!
+//! Each query's reduce/distinct state lives in a hash-indexed register
+//! array. Crucially, the engine does **not** handle hash conflicts: two
+//! keys hashing to the same cell share one statistic and one key slot
+//! (the last writer wins the slot). This is the precision/recall error
+//! source the paper attributes to Sonata and explicitly does *not* fix:
+//! "the stateful operators of Sonata do not handle hash conflicts, which
+//! cannot be avoided by OmniWindow."
+
+use std::collections::HashSet;
+
+use ow_common::afr::AttrValue;
+use ow_common::flowkey::FlowKey;
+use ow_common::hash::HashFn;
+use ow_common::packet::Packet;
+
+use crate::exact::update_attr;
+use crate::spec::QuerySpec;
+
+/// One register cell: the shared statistic plus the last key that
+/// updated it (the key slot Sonata uses to emit reports).
+#[derive(Debug, Clone)]
+struct Cell {
+    attr: AttrValue,
+    key: Option<FlowKey>,
+}
+
+/// Register-based execution of one query over one window/sub-window.
+#[derive(Debug, Clone)]
+pub struct RegisterEngine {
+    spec: QuerySpec,
+    cells: Vec<Cell>,
+    hash: HashFn,
+}
+
+impl RegisterEngine {
+    /// Create an engine with `slots` register cells.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn new(spec: QuerySpec, slots: usize, seed: u64) -> RegisterEngine {
+        assert!(slots > 0, "register engine needs at least one slot");
+        RegisterEngine {
+            cells: vec![
+                Cell {
+                    attr: AttrValue::identity(spec.stat.attr_kind()),
+                    key: None,
+                };
+                slots
+            ],
+            spec,
+            hash: HashFn::new(seed ^ 0x50A7A, 0),
+        }
+    }
+
+    /// The query being executed.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Number of register cells.
+    pub fn slots(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Process one packet (single SALU access per array — C4).
+    pub fn update(&mut self, pkt: &Packet) {
+        if !(self.spec.filter)(pkt) {
+            return;
+        }
+        let key = pkt.key(self.spec.key_kind);
+        let idx = self.hash.index(&key, self.cells.len());
+        let cell = &mut self.cells[idx];
+        // No conflict handling: the statistic is shared, the key slot is
+        // overwritten by the latest key.
+        update_attr(&mut cell.attr, &self.spec, pkt);
+        cell.key = Some(key);
+    }
+
+    /// Data-plane flow query for AFR generation: reads the cell the key
+    /// hashes to — collisions inflate the result exactly as on hardware.
+    pub fn query(&self, key: &FlowKey) -> AttrValue {
+        let idx = self.hash.index(key, self.cells.len());
+        self.cells[idx].attr
+    }
+
+    /// Keys currently resident in key slots (what the data plane can
+    /// enumerate without OmniWindow's flowkey tracking).
+    pub fn resident_keys(&self) -> Vec<FlowKey> {
+        let mut keys: Vec<FlowKey> = self.cells.iter().filter_map(|c| c.key).collect();
+        keys.sort_by_key(|k| k.as_u128());
+        keys.dedup();
+        keys
+    }
+
+    /// Report: cells whose statistic passes the predicate report their
+    /// resident key.
+    pub fn report(&self) -> HashSet<FlowKey> {
+        self.cells
+            .iter()
+            .filter(|c| c.key.is_some() && self.spec.passes(&c.attr))
+            .filter_map(|c| c.key)
+            .collect()
+    }
+
+    /// Reset all cells (the in-switch reset target).
+    pub fn reset(&mut self) {
+        let id = AttrValue::identity(self.spec.stat.attr_kind());
+        for c in &mut self.cells {
+            c.attr = id;
+            c.key = None;
+        }
+    }
+
+    /// Bytes of register memory this engine occupies (statistic payload
+    /// + 13-byte key slot per cell).
+    pub fn memory_bytes(&self) -> usize {
+        let attr_bytes = match self.spec.stat.attr_kind() {
+            ow_common::afr::AttrKind::Frequency | ow_common::afr::AttrKind::Signed => 4,
+            ow_common::afr::AttrKind::Max | ow_common::afr::AttrKind::Min => 4,
+            ow_common::afr::AttrKind::Existence => 1,
+            ow_common::afr::AttrKind::Distinction => 64,
+            ow_common::afr::AttrKind::ConnBytes => 72,
+        };
+        self.cells.len() * (attr_bytes + 13)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactEngine;
+    use crate::spec::standard_queries;
+    use ow_common::packet::TcpFlags;
+    use ow_common::time::Instant;
+
+    fn syn(src: u32, dst: u32, sport: u16, dport: u16) -> Packet {
+        Packet::tcp(Instant::ZERO, src, dst, sport, dport, TcpFlags::syn(), 64)
+    }
+
+    #[test]
+    fn matches_exact_when_no_collisions() {
+        let q5 = standard_queries()[4];
+        let mut reg = RegisterEngine::new(q5, 1 << 16, 1);
+        let mut exact = ExactEngine::new(q5);
+        for i in 0..100u32 {
+            let p = syn(1000 + i, 7, 1000, 80);
+            reg.update(&p);
+            exact.update(&p);
+        }
+        let victim = FlowKey::dst_ip(7);
+        assert_eq!(reg.query(&victim), exact.query(&victim));
+        assert_eq!(reg.report(), exact.report());
+    }
+
+    #[test]
+    fn collisions_inflate_counts() {
+        // One slot: every victim shares the cell.
+        let q5 = standard_queries()[4];
+        let mut reg = RegisterEngine::new(q5, 1, 2);
+        for i in 0..50u32 {
+            reg.update(&syn(1, 100 + i, 1000, 80));
+        }
+        // Each victim saw 1 SYN, but the shared cell reads 50.
+        assert_eq!(reg.query(&FlowKey::dst_ip(100)).scalar(), 50.0);
+    }
+
+    #[test]
+    fn collision_overwrites_key_slot() {
+        let q5 = standard_queries()[4];
+        let mut reg = RegisterEngine::new(q5, 1, 3);
+        reg.update(&syn(1, 10, 1000, 80));
+        reg.update(&syn(1, 20, 1000, 80));
+        // Only the last key is resident.
+        assert_eq!(reg.resident_keys(), vec![FlowKey::dst_ip(20)]);
+    }
+
+    #[test]
+    fn report_uses_resident_key() {
+        let q5 = standard_queries()[4];
+        let mut reg = RegisterEngine::new(q5, 1, 4);
+        // 80 SYNs to victim 10, then one SYN to victim 20 (same cell):
+        // the cell passes threshold but reports victim 20 — a false
+        // positive + false negative pair, the Sonata error mode.
+        for _ in 0..80 {
+            reg.update(&syn(1, 10, 1000, 80));
+        }
+        reg.update(&syn(1, 20, 1000, 80));
+        let reported = reg.report();
+        assert!(reported.contains(&FlowKey::dst_ip(20)));
+        assert!(!reported.contains(&FlowKey::dst_ip(10)));
+    }
+
+    #[test]
+    fn reset_clears_cells() {
+        let q5 = standard_queries()[4];
+        let mut reg = RegisterEngine::new(q5, 64, 5);
+        for _ in 0..100 {
+            reg.update(&syn(1, 10, 1000, 80));
+        }
+        reg.reset();
+        assert!(reg.report().is_empty());
+        assert!(reg.resident_keys().is_empty());
+        assert_eq!(reg.query(&FlowKey::dst_ip(10)).scalar(), 0.0);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_slots() {
+        let q5 = standard_queries()[4];
+        let small = RegisterEngine::new(q5, 64, 6);
+        let big = RegisterEngine::new(q5, 128, 6);
+        assert_eq!(big.memory_bytes(), small.memory_bytes() * 2);
+    }
+}

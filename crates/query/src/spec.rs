@@ -1,0 +1,309 @@
+//! Declarative query specifications for Q1–Q7 (Table 1).
+//!
+//! A [`QuerySpec`] is the compiled form of a Sonata query: a packet
+//! filter, an aggregation key, a statistic to maintain, and a report
+//! predicate. The statistic kinds cover everything the seven evaluation
+//! queries need: plain counts, distinct counts, signed differences, and
+//! the connection/byte join used by Slowloris detection.
+
+use ow_common::afr::{AttrKind, AttrValue};
+use ow_common::flowkey::KeyKind;
+use ow_common::packet::{Packet, PROTO_TCP};
+
+/// Which element of a packet a distinct-count statistic counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Element {
+    /// The source address (DDoS: distinct attackers per victim).
+    SrcIp,
+    /// The destination address (spreaders: distinct victims per source).
+    DstIp,
+    /// The destination port (port scan: distinct ports per victim).
+    DstPort,
+    /// The transport connection `(src, sport)` (new connections).
+    Connection,
+}
+
+impl Element {
+    /// Extract the element's hashable value from a packet.
+    pub fn extract(&self, pkt: &Packet) -> u64 {
+        match self {
+            Element::SrcIp => pkt.src_ip as u64,
+            Element::DstIp => pkt.dst_ip as u64,
+            Element::DstPort => pkt.dst_port as u64,
+            Element::Connection => ((pkt.src_ip as u64) << 16) | pkt.src_port as u64,
+        }
+    }
+}
+
+/// The statistic a query maintains per key.
+#[derive(Debug, Clone, Copy)]
+pub enum StatKind {
+    /// Count matching packets.
+    Count,
+    /// Count distinct elements among matching packets.
+    Distinct(Element),
+    /// Signed difference: +1 for packets matching `plus`, −1 for `minus`
+    /// (both filters applied after the query's main filter).
+    CountDiff {
+        /// Packets adding one.
+        plus: fn(&Packet) -> bool,
+        /// Packets subtracting one.
+        minus: fn(&Packet) -> bool,
+    },
+    /// Join of distinct connections and byte volume (Slowloris).
+    ConnBytes,
+}
+
+impl StatKind {
+    /// The AFR merge pattern of this statistic.
+    pub fn attr_kind(&self) -> AttrKind {
+        match self {
+            StatKind::Count => AttrKind::Frequency,
+            StatKind::Distinct(_) => AttrKind::Distinction,
+            StatKind::CountDiff { .. } => AttrKind::Signed,
+            StatKind::ConnBytes => AttrKind::ConnBytes,
+        }
+    }
+}
+
+/// How a query decides to report a key given its merged statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Report {
+    /// Report when the scalar view ≥ threshold.
+    AtLeast(f64),
+    /// Slowloris: report when distinct connections ≥ `min_conns` AND
+    /// bytes per connection ≤ `max_bytes_per_conn`.
+    ManyConnsFewBytes {
+        /// Minimum distinct connections.
+        min_conns: f64,
+        /// Maximum average bytes per connection.
+        max_bytes_per_conn: f64,
+    },
+}
+
+/// A compiled telemetry query.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec {
+    /// Short name ("Q1" … "Q7").
+    pub name: &'static str,
+    /// Human description (Table 1 row).
+    pub description: &'static str,
+    /// Aggregation key.
+    pub key_kind: KeyKind,
+    /// Packet filter (the query's `filter` operator).
+    pub filter: fn(&Packet) -> bool,
+    /// Statistic to maintain.
+    pub stat: StatKind,
+    /// Report predicate.
+    pub report: Report,
+}
+
+impl QuerySpec {
+    /// Whether a merged statistic triggers a report.
+    pub fn passes(&self, attr: &AttrValue) -> bool {
+        match self.report {
+            Report::AtLeast(t) => attr.scalar() >= t,
+            Report::ManyConnsFewBytes {
+                min_conns,
+                max_bytes_per_conn,
+            } => match attr {
+                AttrValue::ConnBytes { conns, bytes } => {
+                    let c = conns.estimate();
+                    c >= min_conns && (*bytes as f64 / c.max(1.0)) <= max_bytes_per_conn
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+// --- Packet predicates used by the specs ------------------------------
+
+fn is_tcp(p: &Packet) -> bool {
+    p.proto == PROTO_TCP
+}
+
+fn is_pure_syn(p: &Packet) -> bool {
+    is_tcp(p) && p.tcp_flags.is_pure_syn()
+}
+
+fn is_fin(p: &Packet) -> bool {
+    is_tcp(p) && p.tcp_flags.has_fin()
+}
+
+fn is_ssh_syn(p: &Packet) -> bool {
+    is_pure_syn(p) && p.dst_port == 22
+}
+
+fn any_packet(_: &Packet) -> bool {
+    true
+}
+
+fn is_web(p: &Packet) -> bool {
+    is_tcp(p) && p.dst_port == 80
+}
+
+/// The seven standard queries (Table 1), with thresholds tuned for the
+/// synthetic workload's scale (the paper's thresholds are likewise tuned
+/// to the CAIDA trace).
+///
+/// ```
+/// use ow_query::spec::standard_queries;
+/// let qs = standard_queries();
+/// assert_eq!(qs.len(), 7);
+/// assert_eq!(qs[0].name, "Q1");
+/// ```
+pub fn standard_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            name: "Q1",
+            description: "Detect hosts which open too many new TCP connections",
+            key_kind: KeyKind::SrcIp,
+            filter: is_pure_syn,
+            stat: StatKind::Distinct(Element::DstIp),
+            report: Report::AtLeast(40.0),
+        },
+        QuerySpec {
+            name: "Q2",
+            description: "Detect hosts under SSH brute force attack",
+            key_kind: KeyKind::DstIp,
+            filter: is_ssh_syn,
+            stat: StatKind::Count,
+            report: Report::AtLeast(20.0),
+        },
+        QuerySpec {
+            name: "Q3",
+            description: "Detect hosts under port scanning",
+            key_kind: KeyKind::DstIp,
+            filter: is_pure_syn,
+            stat: StatKind::Distinct(Element::DstPort),
+            report: Report::AtLeast(60.0),
+        },
+        QuerySpec {
+            name: "Q4",
+            description: "Detect hosts under DDoS attack",
+            key_kind: KeyKind::DstIp,
+            filter: any_packet,
+            stat: StatKind::Distinct(Element::SrcIp),
+            report: Report::AtLeast(60.0),
+        },
+        QuerySpec {
+            name: "Q5",
+            description: "Detect hosts under SYN-flood attack",
+            key_kind: KeyKind::DstIp,
+            filter: is_pure_syn,
+            stat: StatKind::Count,
+            report: Report::AtLeast(80.0),
+        },
+        QuerySpec {
+            name: "Q6",
+            description: "Detect hosts with many incomplete TCP flows",
+            key_kind: KeyKind::DstIp,
+            filter: is_tcp,
+            stat: StatKind::CountDiff {
+                plus: is_pure_syn,
+                minus: is_fin,
+            },
+            report: Report::AtLeast(50.0),
+        },
+        QuerySpec {
+            name: "Q7",
+            description: "Detect hosts under Slowloris attack",
+            key_kind: KeyKind::DstIp,
+            filter: is_web,
+            stat: StatKind::ConnBytes,
+            report: Report::ManyConnsFewBytes {
+                min_conns: 40.0,
+                max_bytes_per_conn: 600.0,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_common::afr::DistinctBitmap;
+    use ow_common::packet::TcpFlags;
+    use ow_common::time::Instant;
+
+    #[test]
+    fn seven_standard_queries() {
+        let qs = standard_queries();
+        assert_eq!(qs.len(), 7);
+        let names: Vec<&str> = qs.iter().map(|q| q.name).collect();
+        assert_eq!(names, vec!["Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"]);
+    }
+
+    #[test]
+    fn ssh_filter_matches_port_22_syn_only() {
+        let syn22 = Packet::tcp(Instant::ZERO, 1, 2, 3, 22, TcpFlags::syn(), 64);
+        let syn80 = Packet::tcp(Instant::ZERO, 1, 2, 3, 80, TcpFlags::syn(), 64);
+        let ack22 = Packet::tcp(Instant::ZERO, 1, 2, 3, 22, TcpFlags::ack(), 64);
+        let q2 = standard_queries()[1];
+        assert!((q2.filter)(&syn22));
+        assert!(!(q2.filter)(&syn80));
+        assert!(!(q2.filter)(&ack22));
+    }
+
+    #[test]
+    fn element_extraction() {
+        let p = Packet::tcp(
+            Instant::ZERO,
+            0xAABB,
+            0xCCDD,
+            1111,
+            2222,
+            TcpFlags::ack(),
+            64,
+        );
+        assert_eq!(Element::SrcIp.extract(&p), 0xAABB);
+        assert_eq!(Element::DstIp.extract(&p), 0xCCDD);
+        assert_eq!(Element::DstPort.extract(&p), 2222);
+        assert_eq!(Element::Connection.extract(&p), (0xAABBu64 << 16) | 1111);
+    }
+
+    #[test]
+    fn threshold_report_passes() {
+        let q5 = standard_queries()[4];
+        assert!(q5.passes(&AttrValue::Frequency(80)));
+        assert!(!q5.passes(&AttrValue::Frequency(79)));
+    }
+
+    #[test]
+    fn slowloris_report_needs_both_conditions() {
+        let q7 = standard_queries()[6];
+        let mut many = DistinctBitmap::default();
+        for i in 0..100u64 {
+            many.insert_hash(i.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let mut few = DistinctBitmap::default();
+        few.insert_hash(1);
+        // Many connections, tiny bytes → report.
+        assert!(q7.passes(&AttrValue::ConnBytes {
+            conns: many,
+            bytes: 6_000
+        }));
+        // Many connections but bulky transfers → no report.
+        assert!(!q7.passes(&AttrValue::ConnBytes {
+            conns: many,
+            bytes: 10_000_000
+        }));
+        // Few connections → no report.
+        assert!(!q7.passes(&AttrValue::ConnBytes {
+            conns: few,
+            bytes: 10
+        }));
+        // Wrong pattern → no report.
+        assert!(!q7.passes(&AttrValue::Frequency(1_000_000)));
+    }
+
+    #[test]
+    fn stat_kinds_map_to_attr_kinds() {
+        let qs = standard_queries();
+        assert_eq!(qs[1].stat.attr_kind(), AttrKind::Frequency);
+        assert_eq!(qs[3].stat.attr_kind(), AttrKind::Distinction);
+        assert_eq!(qs[5].stat.attr_kind(), AttrKind::Signed);
+        assert_eq!(qs[6].stat.attr_kind(), AttrKind::ConnBytes);
+    }
+}

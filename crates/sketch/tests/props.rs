@@ -1,0 +1,185 @@
+//! Property-based tests for the sketch library's core invariants.
+
+use ow_common::flowkey::FlowKey;
+use ow_sketch::traits::FrequencySketch;
+use ow_sketch::{CountMin, HashPipe, HyperLogLog, Iblt, LinearCounting, MvSketch, SuMax};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u16, u8)>> {
+    // (key id, weight) pairs; small key space to force collisions.
+    proptest::collection::vec((0u16..64, 1u8..16), 1..400)
+}
+
+fn key(i: u16) -> FlowKey {
+    FlowKey::five_tuple(i as u32 + 1, 0xAAAA, 42, 80, 6)
+}
+
+fn ground_truth(stream: &[(u16, u8)]) -> HashMap<u16, u64> {
+    let mut m = HashMap::new();
+    for &(k, w) in stream {
+        *m.entry(k).or_insert(0u64) += w as u64;
+    }
+    m
+}
+
+proptest! {
+    /// Count-Min never underestimates any key, on any stream.
+    #[test]
+    fn count_min_one_sided(stream in arb_stream(), seed in any::<u64>()) {
+        let mut cm = CountMin::new(3, 32, seed);
+        for &(k, w) in &stream {
+            cm.update(&key(k), w as u64);
+        }
+        for (k, truth) in ground_truth(&stream) {
+            prop_assert!(cm.query(&key(k)) >= truth);
+        }
+    }
+
+    /// SuMax is one-sided too, and never exceeds Count-Min.
+    #[test]
+    fn sumax_bounded_by_count_min(stream in arb_stream(), seed in any::<u64>()) {
+        let mut cm = CountMin::new(3, 32, seed);
+        let mut sm = SuMax::new(3, 32, seed);
+        for &(k, w) in &stream {
+            cm.update(&key(k), w as u64);
+            sm.update(&key(k), w as u64);
+        }
+        for (k, truth) in ground_truth(&stream) {
+            let q = sm.query(&key(k));
+            prop_assert!(q >= truth);
+            prop_assert!(q <= cm.query(&key(k)));
+        }
+    }
+
+    /// HashPipe never overestimates (it only drops or splits mass).
+    #[test]
+    fn hashpipe_never_overestimates(stream in arb_stream(), seed in any::<u64>()) {
+        let mut hp = HashPipe::new(3, 16, seed);
+        for &(k, w) in &stream {
+            hp.update(&key(k), w as u64);
+        }
+        for (k, truth) in ground_truth(&stream) {
+            prop_assert!(hp.query(&key(k)) <= truth);
+        }
+    }
+
+    /// MV-Sketch estimates are within the (v±c)/2 bound of the truth:
+    /// specifically, the estimate never drops below truth minus the total
+    /// colliding mass, and candidates always include the bucket majority.
+    #[test]
+    fn mv_estimate_upper_bounded_by_stream_mass(stream in arb_stream(), seed in any::<u64>()) {
+        let mut mv = MvSketch::new(3, 16, seed);
+        let mut total = 0u64;
+        for &(k, w) in &stream {
+            mv.update(&key(k), w as u64);
+            total += w as u64;
+        }
+        for (k, _) in ground_truth(&stream) {
+            prop_assert!(mv.query(&key(k)) <= total);
+        }
+    }
+
+    /// Reset always restores the zero state (queries return 0).
+    #[test]
+    fn reset_restores_zero(stream in arb_stream(), seed in any::<u64>()) {
+        let mut cm = CountMin::new(2, 16, seed);
+        let mut sm = SuMax::new(2, 16, seed);
+        let mut mv = MvSketch::new(2, 16, seed);
+        for &(k, w) in &stream {
+            cm.update(&key(k), w as u64);
+            sm.update(&key(k), w as u64);
+            mv.update(&key(k), w as u64);
+        }
+        cm.reset();
+        sm.reset();
+        mv.reset();
+        for k in 0u16..64 {
+            prop_assert_eq!(cm.query(&key(k)), 0);
+            prop_assert_eq!(sm.query(&key(k)), 0);
+            prop_assert_eq!(mv.query(&key(k)), 0);
+        }
+    }
+
+    /// LC and HLL merges commute: merge(a,b) == merge(b,a).
+    #[test]
+    fn cardinality_merges_commute(
+        xs in proptest::collection::hash_set(0u32..10_000, 0..200),
+        ys in proptest::collection::hash_set(0u32..10_000, 0..200),
+        seed in any::<u64>(),
+    ) {
+        let kf = |i: u32| FlowKey::src_ip(i + 1);
+        let mut lc_a = LinearCounting::new(4096, seed);
+        let mut lc_b = LinearCounting::new(4096, seed);
+        let mut hll_a = HyperLogLog::new(10, seed);
+        let mut hll_b = HyperLogLog::new(10, seed);
+        for &x in &xs { lc_a.insert(&kf(x)); hll_a.insert(&kf(x)); }
+        for &y in &ys { lc_b.insert(&kf(y)); hll_b.insert(&kf(y)); }
+
+        let mut ab_lc = lc_a.clone(); ab_lc.merge(&lc_b);
+        let mut ba_lc = lc_b.clone(); ba_lc.merge(&lc_a);
+        prop_assert_eq!(ab_lc, ba_lc);
+
+        let mut ab_h = hll_a.clone(); ab_h.merge(&hll_b);
+        let mut ba_h = hll_b.clone(); ba_h.merge(&hll_a);
+        prop_assert_eq!(ab_h, ba_h);
+    }
+
+    /// IBLT: inserting a set and deleting the same set empties the table,
+    /// regardless of order.
+    #[test]
+    fn iblt_cancels_in_any_order(
+        ids in proptest::collection::hash_set(0u32..100_000, 0..100),
+        seed in any::<u64>(),
+    ) {
+        let mut t = Iblt::new(256, 3, seed);
+        let keys: Vec<FlowKey> = ids.iter().map(|&i| key((i % 60_000) as u16)).collect();
+        for k in &keys { t.insert(k); }
+        for k in keys.iter().rev() { t.delete(k); }
+        prop_assert!(t.is_empty());
+    }
+
+    /// IBLT decoding is *sound* on any input: it never invents keys
+    /// (everything decoded as missing was actually inserted, nothing as
+    /// extra), and when peeling completes it recovered the exact set.
+    /// (Completeness itself is probabilistic — a pair of keys can
+    /// collide in all k cells — so it is asserted only when reported.)
+    #[test]
+    fn iblt_decode_is_sound(
+        ids in proptest::collection::hash_set(1u32..1_000_000, 0..30),
+        seed in any::<u64>(),
+    ) {
+        let mut t = Iblt::new(256, 3, seed);
+        let keys: Vec<FlowKey> = ids.iter().map(|&i| FlowKey::src_ip(i)).collect();
+        for k in &keys { t.insert(k); }
+        let res = t.decode();
+        for k in &res.missing {
+            prop_assert!(keys.contains(k), "decoded key never inserted");
+        }
+        prop_assert!(res.extra.is_empty(), "phantom extras decoded");
+        if res.complete {
+            prop_assert_eq!(res.missing.len(), keys.len());
+            for k in &keys {
+                prop_assert!(res.missing.contains(k));
+            }
+        }
+    }
+
+    /// IBLT completeness holds w.h.p.: across random seeds/sets, at most
+    /// a tiny fraction of decodes may be incomplete.
+    #[test]
+    fn iblt_decode_usually_completes(base in any::<u64>()) {
+        let mut incomplete = 0;
+        for round in 0..20u64 {
+            let seed = base.wrapping_add(round);
+            let mut t = Iblt::new(256, 3, seed);
+            for i in 0..25u32 {
+                t.insert(&FlowKey::src_ip(i * 7919 + round as u32 + 1));
+            }
+            if !t.decode().complete {
+                incomplete += 1;
+            }
+        }
+        prop_assert!(incomplete <= 1, "{incomplete}/20 decodes incomplete");
+    }
+}

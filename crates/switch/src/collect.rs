@@ -1,0 +1,574 @@
+//! Fast collection and reset (§4): AFR generation (Algorithm 2), the
+//! in-switch reset (§4.3), and the timing of every collection path the
+//! paper compares in Exp#6/Exp#8.
+//!
+//! Two layers:
+//!
+//! * [`CrEngine::collect_and_reset`] — the *functional* engine used by
+//!   the window mechanisms: queries the terminated region for every
+//!   tracked flowkey, produces the AFR batch, resets the region, and
+//!   charges the configured path's latency.
+//! * [`PacketCollector`] — a literal interpreter of Algorithm 2: feeds
+//!   `Collection` packets through the pipeline one recirculation at a
+//!   time, maintaining the enumeration counter, appending AFRs to packet
+//!   headers, cloning reports to the controller, and converting the
+//!   packets to `Reset` clears at the end. Used by protocol-level tests
+//!   and the quickstart to show the mechanism exactly as published.
+
+use ow_common::afr::FlowRecord;
+use ow_common::flowkey::FlowKey;
+use ow_common::packet::{OwFlag, OwHeader, Packet};
+use ow_common::time::{Duration, Instant};
+
+use crate::app::DataPlaneApp;
+use crate::flowkey::FlowkeyTracker;
+use crate::latency::LatencyModel;
+
+/// Which collection path to charge (the Exp#6 variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectMode {
+    /// Conventional switch-OS read of the full state (the baseline).
+    SwitchOs,
+    /// Control-plane collection: the controller injects *every* flowkey.
+    ControlPlane,
+    /// Data-plane collection: all keys are in `fk_buffer`, enumerated by
+    /// recirculating packets.
+    DataPlane,
+    /// OmniWindow's hybrid: buffered keys enumerated in-switch, overflow
+    /// keys injected by the controller.
+    Hybrid,
+}
+
+/// Collection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectConfig {
+    /// Path to charge.
+    pub mode: CollectMode,
+    /// Simultaneously recirculating collection packets (paper: 3 without
+    /// RDMA — DPDK cannot absorb more — and 16 with RDMA).
+    pub recirc_packets: usize,
+    /// Whether the RDMA optimisation is on (§7).
+    pub rdma: bool,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            mode: CollectMode::Hybrid,
+            recirc_packets: 3,
+            rdma: false,
+        }
+    }
+}
+
+/// Result of one sub-window's collect-and-reset.
+#[derive(Debug, Clone)]
+pub struct CollectOutcome {
+    /// The AFR batch for the terminated sub-window (deduplicated keys,
+    /// sequence-numbered for the reliability mechanism).
+    pub afrs: Vec<FlowRecord>,
+    /// Keys enumerated inside the data plane.
+    pub keys_from_dataplane: usize,
+    /// Keys injected from the controller.
+    pub keys_injected: usize,
+    /// Time to generate and collect all AFRs (data-plane + control-plane).
+    pub collect_time: Duration,
+    /// Time for the in-switch (or OS) reset.
+    pub reset_time: Duration,
+}
+
+impl CollectOutcome {
+    /// Total C&R latency.
+    pub fn total_time(&self) -> Duration {
+        self.collect_time + self.reset_time
+    }
+}
+
+/// The collect-and-reset engine.
+#[derive(Debug, Clone)]
+pub struct CrEngine {
+    latency: LatencyModel,
+}
+
+impl CrEngine {
+    /// Create an engine with the given latency model.
+    pub fn new(latency: LatencyModel) -> CrEngine {
+        CrEngine { latency }
+    }
+
+    /// The latency model in use.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Collect the terminated region's AFRs and reset it.
+    ///
+    /// `app` and `tracker` are the *inactive* region's state. `subwindow`
+    /// is the terminated sub-window number. Returns the AFR batch and the
+    /// charged latencies.
+    pub fn collect_and_reset<A: DataPlaneApp>(
+        &self,
+        app: &mut A,
+        tracker: &mut FlowkeyTracker,
+        subwindow: u32,
+        cfg: CollectConfig,
+    ) -> CollectOutcome {
+        // Assemble the key set: structure-resident keys, buffered keys,
+        // and controller-held overflow keys.
+        let mut keys: Vec<FlowKey> = app.self_tracked_keys();
+        keys.extend_from_slice(tracker.buffered());
+        keys.extend_from_slice(tracker.overflowed());
+        keys.sort_by_key(|k| k.as_u128());
+        keys.dedup();
+
+        let (from_dataplane, injected) = match cfg.mode {
+            CollectMode::SwitchOs => (0, 0),
+            CollectMode::ControlPlane => (0, keys.len()),
+            CollectMode::DataPlane => (keys.len(), 0),
+            CollectMode::Hybrid => {
+                let buffered = tracker.buffered().len() + app.self_tracked_keys().len();
+                let buffered = buffered.min(keys.len());
+                (buffered, keys.len() - buffered)
+            }
+        };
+
+        // Generate the AFRs (the query operation of Algorithm 2 line 8).
+        let afrs: Vec<FlowRecord> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| FlowRecord {
+                key: *k,
+                attr: app.query(k),
+                subwindow,
+                seq: i as u32,
+            })
+            .collect();
+
+        // Charge the path's latency. AFR reports stream back to the
+        // controller *while* the switch enumerates / the controller
+        // injects, so the receive cost overlaps generation: the total is
+        // the trigger round trip plus the max of (generation+injection)
+        // and receive.
+        let receive = self.latency.receive(afrs.len(), cfg.rdma);
+        let collect_time = match cfg.mode {
+            CollectMode::SwitchOs => {
+                let m = app.meta();
+                self.latency
+                    .os_read(m.register_arrays, app.states_per_array())
+            }
+            CollectMode::ControlPlane => {
+                self.latency.trigger_rtt + self.latency.inject(injected, cfg.rdma).max(receive)
+            }
+            CollectMode::DataPlane => {
+                self.latency.trigger_rtt
+                    + self
+                        .latency
+                        .recirc_enumeration(from_dataplane, cfg.recirc_packets)
+                        .max(receive)
+            }
+            CollectMode::Hybrid => {
+                let inject_time = if cfg.rdma {
+                    self.latency.rdma_inject(injected)
+                } else {
+                    self.latency.inject(injected, false)
+                };
+                let generation = self
+                    .latency
+                    .recirc_enumeration(from_dataplane, cfg.recirc_packets)
+                    + inject_time;
+                self.latency.trigger_rtt + generation.max(receive)
+            }
+        };
+
+        // Reset: clear packets sweep every register index once; one pass
+        // clears the same index of all arrays (§4.3), so array count does
+        // not multiply the time. The OS path is linear in arrays (Exp#8).
+        let reset_time = match cfg.mode {
+            CollectMode::SwitchOs => {
+                let m = app.meta();
+                self.latency
+                    .os_reset(m.register_arrays, app.states_per_array())
+            }
+            _ => self
+                .latency
+                .recirc_enumeration(app.states_per_array(), cfg.recirc_packets),
+        };
+
+        // Perform the functional reset.
+        app.reset();
+        tracker.reset();
+
+        CollectOutcome {
+            afrs,
+            keys_from_dataplane: from_dataplane,
+            keys_injected: injected,
+            collect_time,
+            reset_time,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// RDMA-batched flowkey injection (OW*): the controller writes key
+    /// batches into the switch's injection ring as one-sided RDMA writes,
+    /// amortising the per-packet DPDK cost. Calibrated to the paper's
+    /// OW* = 1.8 ms with 32 K injected keys.
+    pub fn rdma_inject(&self, keys: usize) -> Duration {
+        Duration::from_nanos(40).saturating_mul(keys as u64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Literal Algorithm 2 interpreter.
+// ---------------------------------------------------------------------
+
+/// A literal packet-level interpreter of Algorithm 2 + §4.3: drives
+/// `Collection` packets through the pipeline, producing `AfrReport`
+/// clones and finally `Reset` sweeps.
+#[derive(Debug)]
+pub struct PacketCollector {
+    counter: usize,
+    reset_counter: usize,
+    subwindow: u32,
+}
+
+/// What the pipeline did with one special packet pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PassResult {
+    /// The packet generated an AFR: the clone to send to the controller,
+    /// and the original recirculates (Algorithm 2 lines 7–11).
+    Report {
+        /// Clone carrying the AFR to the controller.
+        clone: Packet,
+        /// The original packet, already recirculated (mutated in place).
+        recirculate: bool,
+    },
+    /// Enumeration finished: the packet converted to a `Reset` clear
+    /// packet and recirculates for in-switch reset (lines 4–6).
+    BecameReset,
+    /// A reset pass cleared one index; packet keeps recirculating.
+    ResetPass {
+        /// Index cleared in every register array this pass.
+        index: usize,
+    },
+    /// Reset finished; the packet is dropped.
+    Done,
+}
+
+impl PacketCollector {
+    /// Start a collection for `subwindow`.
+    pub fn new(subwindow: u32) -> PacketCollector {
+        PacketCollector {
+            counter: 0,
+            reset_counter: 0,
+            subwindow,
+        }
+    }
+
+    /// Process one pipeline pass of a special packet `p` against the
+    /// terminated region (`app`, `tracker`).
+    pub fn pass<A: DataPlaneApp>(
+        &mut self,
+        p: &mut Packet,
+        app: &mut A,
+        tracker: &FlowkeyTracker,
+    ) -> PassResult {
+        match p.ow.flag {
+            OwFlag::Collection => {
+                let index = self.counter;
+                self.counter += 1;
+                let buffered = tracker.buffered();
+                if index >= buffered.len() {
+                    // Line 5–6: convert to clear packet for in-switch reset.
+                    p.ow.flag = OwFlag::Reset;
+                    return PassResult::BecameReset;
+                }
+                let key = buffered[index];
+                let attr = app.query(&key);
+                let clone = Packet {
+                    ow: OwHeader {
+                        subwindow: self.subwindow,
+                        flag: OwFlag::AfrReport,
+                        flowkey: Some(key),
+                        afr_value: attr.scalar() as u64,
+                        seq: index as u32,
+                    },
+                    ..*p
+                };
+                PassResult::Report {
+                    clone,
+                    recirculate: true,
+                }
+            }
+            OwFlag::InjectKey => {
+                // Controller-injected key: query and report, no recirculation.
+                let key = p.ow.flowkey.expect("InjectKey carries a key");
+                let attr = app.query(&key);
+                let clone = Packet {
+                    ow: OwHeader {
+                        subwindow: self.subwindow,
+                        flag: OwFlag::AfrReport,
+                        flowkey: Some(key),
+                        afr_value: attr.scalar() as u64,
+                        seq: p.ow.seq,
+                    },
+                    ..*p
+                };
+                PassResult::Report {
+                    clone,
+                    recirculate: false,
+                }
+            }
+            OwFlag::Reset => {
+                let index = self.reset_counter;
+                if index >= app.states_per_array() {
+                    return PassResult::Done;
+                }
+                self.reset_counter += 1;
+                // The functional model clears the whole region when the
+                // sweep completes; each pass represents clearing `index`
+                // across all arrays in one pipeline transit.
+                if self.reset_counter >= app.states_per_array() {
+                    app.reset();
+                }
+                PassResult::ResetPass { index }
+            }
+            _ => PassResult::Done,
+        }
+    }
+
+    /// How many enumeration passes have run.
+    pub fn enumerated(&self) -> usize {
+        self.counter
+    }
+
+    /// How many reset passes have run.
+    pub fn reset_passes(&self) -> usize {
+        self.reset_counter
+    }
+}
+
+/// Build the special collection packets the controller injects (fewer
+/// than 20 in the paper; Exp#5/Exp#7 use 16).
+pub fn make_collection_packets(n: usize, subwindow: u32, now: Instant) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            let mut p = Packet::udp(now, 0, 0, 0, 0, 64);
+            p.ow = OwHeader {
+                subwindow,
+                flag: OwFlag::Collection,
+                flowkey: None,
+                afr_value: 0,
+                seq: i as u32,
+            };
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::FrequencyApp;
+    use ow_common::afr::AttrValue;
+    use ow_common::flowkey::KeyKind;
+    use ow_common::packet::TcpFlags;
+    use ow_sketch::CountMin;
+
+    type App = FrequencyApp<CountMin>;
+
+    fn app(seed: u64) -> App {
+        FrequencyApp::new(CountMin::new(2, 128, seed), KeyKind::SrcIp, false)
+    }
+
+    fn feed(app: &mut App, tracker: &mut FlowkeyTracker, srcs: &[(u32, u64)]) {
+        for &(src, n) in srcs {
+            for _ in 0..n {
+                let p = Packet::tcp(Instant::ZERO, src, 9, 1, 80, TcpFlags::ack(), 64);
+                app.update(&p);
+            }
+            tracker.track(&FlowKey::src_ip(src));
+        }
+    }
+
+    #[test]
+    fn functional_collection_yields_all_afrs() {
+        let mut a = app(1);
+        let mut t = FlowkeyTracker::new(2, 100, 2); // force overflow
+        feed(&mut a, &mut t, &[(1, 5), (2, 3), (3, 7)]);
+        let engine = CrEngine::new(LatencyModel::default());
+        let out = engine.collect_and_reset(&mut a, &mut t, 4, CollectConfig::default());
+        assert_eq!(out.afrs.len(), 3);
+        assert_eq!(out.keys_from_dataplane, 2);
+        assert_eq!(out.keys_injected, 1);
+        let find = |src: u32| {
+            out.afrs
+                .iter()
+                .find(|r| r.key == FlowKey::src_ip(src))
+                .expect("AFR present")
+        };
+        assert_eq!(find(1).attr, AttrValue::Frequency(5));
+        assert_eq!(find(3).attr, AttrValue::Frequency(7));
+        assert!(out.afrs.iter().all(|r| r.subwindow == 4));
+        // Sequence ids are dense for the reliability check.
+        let mut seqs: Vec<u32> = out.afrs.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn collection_resets_state() {
+        let mut a = app(3);
+        let mut t = FlowkeyTracker::new(10, 100, 4);
+        feed(&mut a, &mut t, &[(1, 5)]);
+        let engine = CrEngine::new(LatencyModel::default());
+        engine.collect_and_reset(&mut a, &mut t, 0, CollectConfig::default());
+        assert_eq!(a.query(&FlowKey::src_ip(1)), AttrValue::Frequency(0));
+        assert_eq!(t.total_tracked(), 0);
+    }
+
+    #[test]
+    fn hybrid_beats_cpc_and_approaches_dpc() {
+        // The Exp#6 ordering: DPC < OW < CPC (all far below OS).
+        let engine = CrEngine::new(LatencyModel::default());
+        let mk = || {
+            let mut a = app(5);
+            let mut t = FlowkeyTracker::new(500, 2000, 6);
+            for i in 0..1000u32 {
+                let p = Packet::tcp(Instant::ZERO, i, 9, 1, 80, TcpFlags::ack(), 64);
+                a.update(&p);
+                t.track(&FlowKey::src_ip(i));
+            }
+            (a, t)
+        };
+        let run = |mode| {
+            let (mut a, mut t) = mk();
+            engine
+                .collect_and_reset(
+                    &mut a,
+                    &mut t,
+                    0,
+                    CollectConfig {
+                        mode,
+                        recirc_packets: 3,
+                        rdma: false,
+                    },
+                )
+                .collect_time
+        };
+        let os = run(CollectMode::SwitchOs);
+        let cpc = run(CollectMode::ControlPlane);
+        let dpc = run(CollectMode::DataPlane);
+        let ow = run(CollectMode::Hybrid);
+        assert!(dpc < ow, "dpc {dpc} !< ow {ow}");
+        assert!(ow < cpc, "ow {ow} !< cpc {cpc}");
+        assert!(cpc < os, "cpc {cpc} !< os {os}");
+    }
+
+    #[test]
+    fn rdma_reduces_hybrid_time() {
+        let engine = CrEngine::new(LatencyModel::default());
+        let mk = || {
+            let a = app(7);
+            let mut t = FlowkeyTracker::new(500, 2000, 8);
+            for i in 0..1000u32 {
+                t.track(&FlowKey::src_ip(i));
+            }
+            (a.clone(), t)
+        };
+        let (mut a1, mut t1) = mk();
+        let plain = engine
+            .collect_and_reset(
+                &mut a1,
+                &mut t1,
+                0,
+                CollectConfig {
+                    mode: CollectMode::Hybrid,
+                    recirc_packets: 3,
+                    rdma: false,
+                },
+            )
+            .collect_time;
+        let (mut a2, mut t2) = mk();
+        let rdma = engine
+            .collect_and_reset(
+                &mut a2,
+                &mut t2,
+                0,
+                CollectConfig {
+                    mode: CollectMode::Hybrid,
+                    recirc_packets: 16,
+                    rdma: true,
+                },
+            )
+            .collect_time;
+        assert!(rdma < plain, "rdma {rdma} !< plain {plain}");
+    }
+
+    #[test]
+    fn packet_collector_runs_algorithm_2_literally() {
+        let mut a = app(9);
+        let mut t = FlowkeyTracker::new(10, 100, 10);
+        feed(&mut a, &mut t, &[(1, 2), (2, 4)]);
+
+        let mut pc = PacketCollector::new(3);
+        let mut pkts = make_collection_packets(1, 3, Instant::ZERO);
+        let p = &mut pkts[0];
+
+        // Pass 1: AFR for the first buffered key.
+        let r1 = pc.pass(p, &mut a, &t);
+        match r1 {
+            PassResult::Report { clone, recirculate } => {
+                assert!(recirculate);
+                assert_eq!(clone.ow.flag, OwFlag::AfrReport);
+                assert_eq!(clone.ow.flowkey, Some(FlowKey::src_ip(1)));
+                assert_eq!(clone.ow.afr_value, 2);
+                assert_eq!(clone.ow.subwindow, 3);
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        // Pass 2: second key.
+        match pc.pass(p, &mut a, &t) {
+            PassResult::Report { clone, .. } => {
+                assert_eq!(clone.ow.flowkey, Some(FlowKey::src_ip(2)));
+                assert_eq!(clone.ow.afr_value, 4);
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        // Pass 3: enumeration exhausted → becomes a clear packet.
+        assert_eq!(pc.pass(p, &mut a, &t), PassResult::BecameReset);
+        assert_eq!(p.ow.flag, OwFlag::Reset);
+
+        // Reset passes sweep every register index, then the packet drops.
+        let n = a.states_per_array();
+        for i in 0..n {
+            assert_eq!(pc.pass(p, &mut a, &t), PassResult::ResetPass { index: i });
+        }
+        assert_eq!(pc.pass(p, &mut a, &t), PassResult::Done);
+        // State is cleared after the sweep.
+        assert_eq!(a.query(&FlowKey::src_ip(2)), AttrValue::Frequency(0));
+    }
+
+    #[test]
+    fn inject_key_packets_are_answered_without_recirculation() {
+        let mut a = app(11);
+        let t = FlowkeyTracker::new(10, 100, 12);
+        for _ in 0..6 {
+            let p = Packet::tcp(Instant::ZERO, 42, 9, 1, 80, TcpFlags::ack(), 64);
+            a.update(&p);
+        }
+        let mut pc = PacketCollector::new(0);
+        let mut p = Packet::udp(Instant::ZERO, 0, 0, 0, 0, 64);
+        p.ow.flag = OwFlag::InjectKey;
+        p.ow.flowkey = Some(FlowKey::src_ip(42));
+        p.ow.seq = 17;
+        match pc.pass(&mut p, &mut a, &t) {
+            PassResult::Report { clone, recirculate } => {
+                assert!(!recirculate);
+                assert_eq!(clone.ow.afr_value, 6);
+                assert_eq!(clone.ow.seq, 17);
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Register arrays with the Stateful-ALU access discipline, and the
+//! flattened two-region layout built on them (§6, made literal).
+//!
+//! RMT constraint **C4**: each packet pass may access *one* location of
+//! each on-chip register array, through that array's SALU. The types
+//! here enforce the discipline — a second access to the same array in
+//! one pass is a hard error — so higher layers cannot accidentally
+//! assume capabilities the hardware lacks (this is exactly why sliding
+//! windows cannot be built by re-reading state, and why clear packets
+//! reset one index per pass).
+//!
+//! [`FlattenedLayout`] is the §6 memory layout verbatim: two regions
+//! concatenated into one array, with each region's base offset installed
+//! in a match-action table; `address = offset(sub-window) + index`, one
+//! SALU regardless of the region count.
+
+use ow_common::error::OwError;
+
+/// A stateful operation a SALU can apply to one cell in one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaluOp {
+    /// Read the cell.
+    Read,
+    /// `cell = cell saturating+ v`, returns the new value.
+    AddSat(u32),
+    /// `cell = max(cell, v)`, returns the new value.
+    Max(u32),
+    /// `cell = v`, returns the old value.
+    Write(u32),
+}
+
+/// A register array guarded by one SALU.
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    name: &'static str,
+    cells: Vec<u32>,
+    /// Whether this array was already accessed in the current pass.
+    accessed_this_pass: bool,
+    /// Total SALU operations (for accounting/tests).
+    accesses: u64,
+}
+
+impl RegisterArray {
+    /// Allocate an array of `cells` 32-bit cells.
+    ///
+    /// # Panics
+    /// Panics if `cells == 0`.
+    pub fn new(name: &'static str, cells: usize) -> RegisterArray {
+        assert!(cells > 0, "register array needs at least one cell");
+        RegisterArray {
+            name,
+            cells: vec![0; cells],
+            accessed_this_pass: false,
+            accesses: 0,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array has no cells (never true; arrays are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Start a new packet pass: the SALU becomes available again.
+    pub fn begin_pass(&mut self) {
+        self.accessed_this_pass = false;
+    }
+
+    /// Perform one SALU operation. Fails if the array was already
+    /// accessed this pass (C4) or the index is out of range.
+    pub fn access(&mut self, index: usize, op: SaluOp) -> Result<u32, OwError> {
+        if self.accessed_this_pass {
+            return Err(OwError::ResourceExhausted(format!(
+                "register '{}' already accessed this pass (C4: one SALU access per array per packet)",
+                self.name
+            )));
+        }
+        let (n, name) = (self.cells.len(), self.name);
+        let cell = self.cells.get_mut(index).ok_or_else(|| {
+            OwError::Config(format!(
+                "index {index} out of range for register '{name}' ({n} cells)"
+            ))
+        })?;
+        self.accessed_this_pass = true;
+        self.accesses += 1;
+        Ok(match op {
+            SaluOp::Read => *cell,
+            SaluOp::AddSat(v) => {
+                *cell = cell.saturating_add(v);
+                *cell
+            }
+            SaluOp::Max(v) => {
+                *cell = (*cell).max(v);
+                *cell
+            }
+            SaluOp::Write(v) => {
+                let old = *cell;
+                *cell = v;
+                old
+            }
+        })
+    }
+
+    /// Total SALU operations performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Control-plane snapshot (the slow OS path may read freely — it is
+    /// not a packet pass).
+    pub fn snapshot(&self) -> &[u32] {
+        &self.cells
+    }
+}
+
+/// The §6 flattened layout: `regions` regions of `region_cells` cells
+/// concatenated into one register array, with the per-region offsets in
+/// a MAT. One SALU serves every region.
+///
+/// ```
+/// use ow_switch::register::{FlattenedLayout, SaluOp};
+///
+/// let mut layout = FlattenedLayout::new("counters", 2, 1024);
+/// // Sub-windows 0 and 1 write the same index of different regions…
+/// layout.access(0, 5, SaluOp::AddSat(10)).unwrap();
+/// layout.access(1, 5, SaluOp::AddSat(99)).unwrap();
+/// assert_eq!(layout.access(0, 5, SaluOp::Read).unwrap(), 10);
+/// // …through a single SALU, however many regions exist.
+/// assert_eq!(layout.salus(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlattenedLayout {
+    array: RegisterArray,
+    /// The offset MAT: region index → base offset.
+    offsets: Vec<usize>,
+    region_cells: usize,
+}
+
+impl FlattenedLayout {
+    /// Build a layout of `regions` regions × `region_cells` cells.
+    pub fn new(name: &'static str, regions: usize, region_cells: usize) -> FlattenedLayout {
+        assert!(regions > 0 && region_cells > 0, "layout must be non-empty");
+        FlattenedLayout {
+            array: RegisterArray::new(name, regions * region_cells),
+            offsets: (0..regions).map(|r| r * region_cells).collect(),
+            region_cells,
+        }
+    }
+
+    /// The region a sub-window number maps to (round-robin over regions,
+    /// as Figure 5 assigns sub-window 1,3,… to region 0 and 2,4,… to
+    /// region 1).
+    pub fn region_of_subwindow(&self, subwindow: u32) -> usize {
+        subwindow as usize % self.offsets.len()
+    }
+
+    /// One packet pass: apply `op` at `index` of the sub-window's
+    /// region. The MAT lookup computes the physical address; the single
+    /// SALU performs the operation (C4-compliant by construction).
+    pub fn access(&mut self, subwindow: u32, index: usize, op: SaluOp) -> Result<u32, OwError> {
+        if index >= self.region_cells {
+            return Err(OwError::Config(format!(
+                "index {index} exceeds region size {}",
+                self.region_cells
+            )));
+        }
+        let offset = self.offsets[self.region_of_subwindow(subwindow)];
+        self.array.begin_pass();
+        self.array.access(offset + index, op)
+    }
+
+    /// SALUs this layout consumes: always exactly one.
+    pub fn salus(&self) -> usize {
+        1
+    }
+
+    /// Cells per region.
+    pub fn region_cells(&self) -> usize {
+        self.region_cells
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Total SALU accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.array.accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn salu_allows_one_access_per_pass() {
+        let mut r = RegisterArray::new("counters", 16);
+        r.begin_pass();
+        assert_eq!(r.access(3, SaluOp::AddSat(5)).unwrap(), 5);
+        // Second access in the same pass violates C4.
+        let err = r.access(4, SaluOp::Read).unwrap_err();
+        assert!(err.to_string().contains("C4"));
+        // Next pass is fine.
+        r.begin_pass();
+        assert_eq!(r.access(3, SaluOp::Read).unwrap(), 5);
+    }
+
+    #[test]
+    fn salu_ops_semantics() {
+        let mut r = RegisterArray::new("x", 4);
+        r.begin_pass();
+        assert_eq!(r.access(0, SaluOp::AddSat(u32::MAX)).unwrap(), u32::MAX);
+        r.begin_pass();
+        assert_eq!(r.access(0, SaluOp::AddSat(1)).unwrap(), u32::MAX); // saturates
+        r.begin_pass();
+        assert_eq!(r.access(1, SaluOp::Max(7)).unwrap(), 7);
+        r.begin_pass();
+        assert_eq!(r.access(1, SaluOp::Max(3)).unwrap(), 7);
+        r.begin_pass();
+        assert_eq!(r.access(1, SaluOp::Write(0)).unwrap(), 7); // returns old
+    }
+
+    #[test]
+    fn out_of_range_is_config_error() {
+        let mut r = RegisterArray::new("x", 4);
+        r.begin_pass();
+        assert!(r.access(4, SaluOp::Read).is_err());
+    }
+
+    #[test]
+    fn flattened_layout_isolates_regions_with_one_salu() {
+        let mut l = FlattenedLayout::new("win_state", 2, 8);
+        assert_eq!(l.salus(), 1);
+        // Sub-window 0 writes region 0, sub-window 1 writes region 1 —
+        // same index, different physical cells.
+        l.access(0, 5, SaluOp::AddSat(10)).unwrap();
+        l.access(1, 5, SaluOp::AddSat(99)).unwrap();
+        assert_eq!(l.access(0, 5, SaluOp::Read).unwrap(), 10);
+        assert_eq!(l.access(1, 5, SaluOp::Read).unwrap(), 99);
+        // Sub-window 2 reuses region 0 (Figure 5's alternation).
+        assert_eq!(l.region_of_subwindow(2), 0);
+        assert_eq!(l.access(2, 5, SaluOp::Read).unwrap(), 10);
+    }
+
+    #[test]
+    fn flattened_layout_rejects_out_of_region_index() {
+        let mut l = FlattenedLayout::new("x", 2, 8);
+        assert!(l.access(0, 8, SaluOp::Read).is_err());
+    }
+
+    #[test]
+    fn accounting_counts_accesses() {
+        let mut l = FlattenedLayout::new("x", 2, 4);
+        for sw in 0..6u32 {
+            l.access(sw, 0, SaluOp::AddSat(1)).unwrap();
+        }
+        assert_eq!(l.accesses(), 6);
+    }
+}

@@ -1,0 +1,276 @@
+//! Switch hardware resource accounting (Exp#5, Table 2).
+//!
+//! The RMT pipeline budget has five scarce axes: stages, SRAM, Stateful
+//! ALUs, VLIW actions, and gateways (predication units). Each OmniWindow
+//! feature consumes some of each; stages and VLIW slots are *shared*
+//! between features that can be packed into the same stage, so the total
+//! is less than the per-feature sum — exactly the caveat Table 2 notes.
+//!
+//! Sizes that depend on configuration (Bloom filter, `fk_buffer`, the
+//! RDMA address MAT) are computed from the configuration; fixed control
+//! logic (comparisons, header rewrites) is charged per feature with
+//! constants taken from the paper's measured P4 build of Q1.
+
+use serde::{Deserialize, Serialize};
+
+/// One feature's resource usage (one row of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FeatureUsage {
+    /// Feature name (row label).
+    pub feature: &'static str,
+    /// Pipeline stages touched.
+    pub stages: u32,
+    /// SRAM in KB.
+    pub sram_kb: u32,
+    /// Stateful ALUs.
+    pub salus: u32,
+    /// VLIW action slots.
+    pub vliw: u32,
+    /// Gateway (predication) units.
+    pub gateways: u32,
+}
+
+/// Configuration knobs that size the variable rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceConfig {
+    /// Bloom filter size in KB (flowkey tracking).
+    pub bloom_kb: u32,
+    /// `fk_buffer` capacity in keys (13 B each).
+    pub fk_capacity: u32,
+    /// Bloom hash count (one SALU per hashed register access).
+    pub bloom_hashes: u32,
+    /// Hot keys cached in the RDMA address MAT (29 B per entry: 13 B key
+    /// + 8 B remote address + table overhead).
+    pub rdma_hot_keys: u32,
+    /// Whether the RDMA optimisation is deployed at all.
+    pub rdma_enabled: bool,
+}
+
+impl Default for ResourceConfig {
+    fn default() -> Self {
+        // The Exp#5 build: 512 KB Bloom filter with 3 hashes, 8 K-entry
+        // flowkey array, 32 K hot keys in the address MAT.
+        ResourceConfig {
+            bloom_kb: 512,
+            fk_capacity: 8 * 1024,
+            bloom_hashes: 3,
+            rdma_hot_keys: 32 * 1024,
+            rdma_enabled: true,
+        }
+    }
+}
+
+/// The full per-feature breakdown plus totals and normalisation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResourceReport {
+    /// Per-feature rows in Table 2 order.
+    pub features: Vec<FeatureUsage>,
+    /// Whole-framework usage after stage/VLIW sharing.
+    pub total: FeatureUsage,
+    /// Usage of the host program (Q1 + switch.p4) without OmniWindow,
+    /// used as the normalisation denominator. Derived from the paper's
+    /// "normalized by" row: total / normalized.
+    pub baseline: FeatureUsage,
+}
+
+impl ResourceReport {
+    /// Build the report for a configuration.
+    pub fn for_config(cfg: &ResourceConfig) -> ResourceReport {
+        let fk_sram = cfg.bloom_kb + (cfg.fk_capacity * 13).div_ceil(1024) + 8;
+        let rdma_sram = (cfg.rdma_hot_keys * 29).div_ceil(1024);
+
+        let mut features = vec![
+            FeatureUsage {
+                feature: "Signal",
+                stages: 1,
+                sram_kb: 32,
+                salus: 1,
+                vliw: 3,
+                gateways: 2,
+            },
+            FeatureUsage {
+                feature: "Consistency model",
+                stages: 1,
+                sram_kb: 0,
+                salus: 0,
+                vliw: 2,
+                gateways: 1,
+            },
+            FeatureUsage {
+                feature: "Address location",
+                stages: 1,
+                sram_kb: 16,
+                salus: 0,
+                vliw: 2,
+                gateways: 0,
+            },
+            FeatureUsage {
+                feature: "Flowkey tracking",
+                stages: cfg.bloom_hashes + 1,
+                sram_kb: fk_sram,
+                salus: cfg.bloom_hashes + 1,
+                vliw: 7,
+                gateways: 7,
+            },
+            FeatureUsage {
+                feature: "AFR generation",
+                stages: 1,
+                sram_kb: 0,
+                salus: 0,
+                vliw: 4,
+                gateways: 3,
+            },
+        ];
+        if cfg.rdma_enabled {
+            features.push(FeatureUsage {
+                feature: "RDMA opt.",
+                stages: 5,
+                sram_kb: rdma_sram,
+                salus: 2,
+                vliw: 20,
+                gateways: 13,
+            });
+        }
+        features.push(FeatureUsage {
+            feature: "In-switch reset",
+            stages: 3,
+            sram_kb: 32,
+            salus: 1,
+            vliw: 5,
+            gateways: 5,
+        });
+
+        // SRAM, SALUs and gateways are exclusive; stages and VLIW are
+        // shared across co-resident features. The measured build packs
+        // everything into 8 stages and shares VLIW words where actions
+        // are identical (the paper's total is below the column sums).
+        let sum = |f: fn(&FeatureUsage) -> u32| features.iter().map(f).sum::<u32>();
+        let stage_sum = sum(|f| f.stages);
+        let vliw_sum = sum(|f| f.vliw);
+        let total = FeatureUsage {
+            feature: "Total",
+            // Stage packing: features co-reside; the measured build packs
+            // the 16 stage-feature touches of the Q1 config into 8
+            // physical stages (two features per stage on average). Scale
+            // proportionally and clamp to the physical 12-stage pipeline.
+            stages: (stage_sum * 8).div_ceil(16).min(12),
+            sram_kb: sum(|f| f.sram_kb),
+            salus: sum(|f| f.salus),
+            // VLIW sharing saves ~20% in the measured build (43 → 35).
+            vliw: (vliw_sum * 35).div_ceil(43),
+            gateways: sum(|f| f.gateways),
+        };
+
+        // Denominator from the paper's normalisation row for the default
+        // build: stages 75 %, SRAM 14.7 %, SALU 44.4 %, VLIW 40.7 %,
+        // gateway 44.9 %.
+        let baseline = FeatureUsage {
+            feature: "Q1 + switch.p4",
+            stages: 11,      // ≈ 8 / 0.75 (rounded to whole stages)
+            sram_kb: 11_102, // ≈ 1632 / 0.147
+            salus: 18,       // ≈ 8 / 0.444
+            vliw: 86,        // ≈ 35 / 0.407
+            gateways: 69,    // ≈ 31 / 0.449
+        };
+
+        ResourceReport {
+            features,
+            total,
+            baseline,
+        }
+    }
+
+    /// Normalised usage (total / baseline), per resource, in percent.
+    pub fn normalized_percent(&self) -> [(&'static str, f64); 5] {
+        let t = &self.total;
+        let b = &self.baseline;
+        [
+            ("Stage", t.stages as f64 / b.stages as f64 * 100.0),
+            ("SRAM", t.sram_kb as f64 / b.sram_kb as f64 * 100.0),
+            ("SALU", t.salus as f64 / b.salus as f64 * 100.0),
+            ("VLIW", t.vliw as f64 / b.vliw as f64 * 100.0),
+            ("Gateway", t.gateways as f64 / b.gateways as f64 * 100.0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table_2() {
+        let r = ResourceReport::for_config(&ResourceConfig::default());
+        let get = |name: &str| {
+            *r.features
+                .iter()
+                .find(|f| f.feature == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        // The fixed rows are exact.
+        assert_eq!(get("Signal").sram_kb, 32);
+        assert_eq!(get("Signal").salus, 1);
+        assert_eq!(get("Consistency model").salus, 0);
+        assert_eq!(get("Consistency model").sram_kb, 0);
+        assert_eq!(get("AFR generation").vliw, 4);
+        assert_eq!(get("In-switch reset").stages, 3);
+        // The sized rows land on the paper's numbers with the default
+        // configuration.
+        assert_eq!(get("Flowkey tracking").sram_kb, 624);
+        assert_eq!(get("Flowkey tracking").salus, 4);
+        assert_eq!(get("Flowkey tracking").stages, 4);
+        assert_eq!(get("RDMA opt.").sram_kb, 928);
+        // Totals.
+        assert_eq!(r.total.sram_kb, 1632);
+        assert_eq!(r.total.salus, 8);
+        assert_eq!(r.total.stages, 8);
+        assert_eq!(r.total.vliw, 35);
+        assert_eq!(r.total.gateways, 31);
+    }
+
+    #[test]
+    fn normalisation_matches_paper() {
+        let r = ResourceReport::for_config(&ResourceConfig::default());
+        let n: std::collections::HashMap<_, _> = r.normalized_percent().into_iter().collect();
+        assert!((n["SRAM"] - 14.7).abs() < 0.5, "SRAM {}", n["SRAM"]);
+        assert!((n["SALU"] - 44.4).abs() < 1.0, "SALU {}", n["SALU"]);
+        assert!((n["VLIW"] - 40.7).abs() < 1.0, "VLIW {}", n["VLIW"]);
+        assert!(
+            (n["Gateway"] - 44.9).abs() < 1.0,
+            "Gateway {}",
+            n["Gateway"]
+        );
+        assert!((60.0..85.0).contains(&n["Stage"]), "Stage {}", n["Stage"]);
+    }
+
+    #[test]
+    fn disabling_rdma_removes_its_row() {
+        let r = ResourceReport::for_config(&ResourceConfig {
+            rdma_enabled: false,
+            ..ResourceConfig::default()
+        });
+        assert!(r.features.iter().all(|f| f.feature != "RDMA opt."));
+        assert!(r.total.sram_kb < 1632);
+        assert_eq!(r.total.salus, 6);
+    }
+
+    #[test]
+    fn smaller_flowkey_array_shrinks_sram() {
+        let small = ResourceReport::for_config(&ResourceConfig {
+            fk_capacity: 1024,
+            ..ResourceConfig::default()
+        });
+        let big = ResourceReport::for_config(&ResourceConfig::default());
+        assert!(small.total.sram_kb < big.total.sram_kb);
+    }
+
+    #[test]
+    fn stage_total_fits_pipeline() {
+        // Even an oversized config must clamp to the 12-stage pipeline.
+        let r = ResourceReport::for_config(&ResourceConfig {
+            bloom_hashes: 8,
+            ..ResourceConfig::default()
+        });
+        assert!(r.total.stages <= 12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the switch model's invariants.
+
+use ow_common::packet::{Packet, TcpFlags};
+use ow_common::time::{Duration, Instant};
+use ow_switch::consistency::{ConsistencyModel, Placement};
+use ow_switch::flowkey::FlowkeyTracker;
+use ow_switch::latency::LatencyModel;
+use ow_switch::register::{FlattenedLayout, SaluOp};
+use ow_switch::signal::{SignalEngine, WindowSignal};
+use proptest::prelude::*;
+
+fn pkt_at_ns(ns: u64) -> Packet {
+    Packet::tcp(Instant::from_nanos(ns), 1, 2, 3, 4, TcpFlags::ack(), 64)
+}
+
+proptest! {
+    /// Timeout signals always place the engine in sub-window
+    /// `floor(t / len)` after processing a packet at time `t`, for any
+    /// non-decreasing packet sequence.
+    #[test]
+    fn timeout_subwindow_matches_formula(
+        mut times in proptest::collection::vec(0u64..2_000_000_000, 1..100),
+        len_ms in 1u64..500,
+    ) {
+        times.sort_unstable();
+        let len = Duration::from_millis(len_ms);
+        let mut e = SignalEngine::new(WindowSignal::Timeout(len));
+        for &t in &times {
+            let _ = e.on_packet(&pkt_at_ns(t));
+            prop_assert_eq!(e.current() as u64, t / len.as_nanos(), "at t={}", t);
+        }
+    }
+
+    /// The sub-window number never decreases over any packet sequence
+    /// (monotonicity of the local clock view).
+    #[test]
+    fn signal_engine_is_monotone(
+        mut times in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        times.sort_unstable();
+        let mut e = SignalEngine::new(WindowSignal::Timeout(Duration::from_millis(50)));
+        let mut last = 0;
+        for &t in &times {
+            let _ = e.on_packet(&pkt_at_ns(t));
+            prop_assert!(e.current() >= last);
+            last = e.current();
+        }
+    }
+
+    /// Terminations report contiguous progress: `ended` is the previous
+    /// current and `next` the new one.
+    #[test]
+    fn terminations_are_consistent(
+        mut times in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        times.sort_unstable();
+        let mut e = SignalEngine::new(WindowSignal::Timeout(Duration::from_millis(20)));
+        let mut current = 0;
+        for &t in &times {
+            if let Some(term) = e.on_packet(&pkt_at_ns(t)) {
+                prop_assert_eq!(term.ended, current);
+                prop_assert!(term.next > term.ended);
+                current = term.next;
+            }
+            prop_assert_eq!(e.current(), current);
+        }
+    }
+
+    /// A transit switch never *loses* a packet: every packet is either
+    /// placed in its embedded sub-window or declared a latency spike —
+    /// and the spike case only fires when the stamp is older than the
+    /// preservation horizon.
+    #[test]
+    fn transit_placement_is_total_and_correct(
+        embedded in 0u32..100,
+        current in 0u32..100,
+        preserve in 0u32..5,
+    ) {
+        let cm = ConsistencyModel::new(false, preserve);
+        let mut sig = SignalEngine::new(WindowSignal::Timeout(Duration::from_millis(100)));
+        sig.fast_forward(current, Instant::ZERO);
+        let mut p = pkt_at_ns(0);
+        p.ow.subwindow = embedded;
+        let out = cm.place(&mut p, &mut sig, Instant::ZERO);
+        match out.placement {
+            Placement::SubWindow(sw) => {
+                prop_assert_eq!(sw, embedded, "always monitored at its stamp");
+                prop_assert!(embedded + preserve >= current || embedded > current);
+            }
+            Placement::LatencySpike { embedded: e } => {
+                prop_assert_eq!(e, embedded);
+                prop_assert!(embedded < current && current - embedded > preserve);
+            }
+        }
+        // The local sub-window never moves backwards.
+        prop_assert!(sig.current() >= current);
+        prop_assert_eq!(sig.current(), current.max(embedded));
+    }
+
+    /// Flowkey tracking conserves keys: every distinct key is buffered,
+    /// overflowed, or (rarely) suppressed by a Bloom false positive —
+    /// never duplicated.
+    #[test]
+    fn tracker_conserves_keys(ids in proptest::collection::hash_set(1u32..1_000_000, 1..300)) {
+        let mut t = FlowkeyTracker::new(64, 1024, 42);
+        for &i in &ids {
+            t.track(&ow_common::flowkey::FlowKey::src_ip(i));
+        }
+        let tracked = t.total_tracked();
+        prop_assert!(tracked <= ids.len(), "duplicates created");
+        // Bloom false positives are rare at this load: at most a few keys
+        // may be suppressed.
+        prop_assert!(tracked + 3 >= ids.len(), "{tracked} of {}", ids.len());
+        // Buffered never exceeds capacity.
+        prop_assert!(t.buffered().len() <= 64);
+    }
+
+    /// The flattened layout keeps regions perfectly isolated: writes to
+    /// one sub-window's region are invisible to the other's, at every
+    /// index, for any interleaving.
+    #[test]
+    fn flattened_regions_are_isolated(
+        writes in proptest::collection::vec((0u32..8, 0usize..16, 1u32..100), 1..60),
+    ) {
+        let mut l = FlattenedLayout::new("t", 2, 16);
+        let mut shadow = [[0u32; 16]; 2];
+        for &(sw, idx, v) in &writes {
+            let region = l.region_of_subwindow(sw);
+            l.access(sw, idx, SaluOp::AddSat(v)).unwrap();
+            shadow[region][idx] = shadow[region][idx].saturating_add(v);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for sw in 0..2u32 {
+            for idx in 0..16usize {
+                let got = l.access(sw, idx, SaluOp::Read).unwrap();
+                prop_assert_eq!(got, shadow[sw as usize][idx]);
+            }
+        }
+    }
+
+    /// The latency model is monotone: more items never collect faster,
+    /// more recirculating packets never collect slower.
+    #[test]
+    fn latency_model_monotonicity(
+        items_a in 0usize..100_000,
+        items_b in 0usize..100_000,
+        pkts_a in 1usize..64,
+        pkts_b in 1usize..64,
+    ) {
+        let m = LatencyModel::default();
+        let (lo, hi) = (items_a.min(items_b), items_a.max(items_b));
+        prop_assert!(m.recirc_enumeration(lo, pkts_a) <= m.recirc_enumeration(hi, pkts_a));
+        let (pl, ph) = (pkts_a.min(pkts_b), pkts_a.max(pkts_b));
+        prop_assert!(m.recirc_enumeration(items_a, ph) <= m.recirc_enumeration(items_a, pl));
+        prop_assert!(m.inject(lo, false) <= m.inject(hi, false));
+        prop_assert!(m.inject(items_a, false) <= m.inject(items_a, true));
+    }
+}

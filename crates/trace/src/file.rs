@@ -1,0 +1,201 @@
+//! A compact binary trace format for saving and replaying workloads.
+//!
+//! Experiments are deterministic given a seed, but sharing a workload
+//! across machines (or pinning one for regression) needs a serialised
+//! form. The `.owtrace` format is a fixed 28-byte record per packet —
+//! five-tuple, timestamp, flags, length, application tag — with a small
+//! header. It plays the role CAIDA's pcap files play for the paper.
+//!
+//! Layout: magic `OWTR`, version `u16`, record count `u64`, duration
+//! `u64` (ns), then `count` records of:
+//! `ts:u64 src:u32 dst:u32 sport:u16 dport:u16 proto:u8 flags:u8
+//! wire_len:u16 app_tag:u32`.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use ow_common::error::OwError;
+use ow_common::packet::{OwHeader, Packet, TcpFlags};
+use ow_common::time::{Duration, Instant};
+
+use crate::gen::Trace;
+
+const MAGIC: &[u8; 4] = b"OWTR";
+const VERSION: u16 = 1;
+const RECORD_BYTES: usize = 8 + 4 + 4 + 2 + 2 + 1 + 1 + 2 + 4;
+
+/// Serialise a trace to a writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), OwError> {
+    let mut header = Vec::with_capacity(4 + 2 + 8 + 8);
+    header.put_slice(MAGIC);
+    header.put_u16(VERSION);
+    header.put_u64(trace.packets.len() as u64);
+    header.put_u64(trace.duration.as_nanos());
+    w.write_all(&header)
+        .map_err(|e| OwError::Config(format!("write header: {e}")))?;
+
+    let mut buf = Vec::with_capacity(RECORD_BYTES * 1024);
+    for (i, p) in trace.packets.iter().enumerate() {
+        buf.put_u64(p.ts.as_nanos());
+        buf.put_u32(p.src_ip);
+        buf.put_u32(p.dst_ip);
+        buf.put_u16(p.src_port);
+        buf.put_u16(p.dst_port);
+        buf.put_u8(p.proto);
+        buf.put_u8(p.tcp_flags.0);
+        buf.put_u16(p.wire_len);
+        buf.put_u32(p.app_tag);
+        if buf.len() >= RECORD_BYTES * 1024 || i + 1 == trace.packets.len() {
+            w.write_all(&buf)
+                .map_err(|e| OwError::Config(format!("write records: {e}")))?;
+            buf.clear();
+        }
+    }
+    Ok(())
+}
+
+/// Deserialise a trace from a reader.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, OwError> {
+    let mut header = [0u8; 4 + 2 + 8 + 8];
+    r.read_exact(&mut header)
+        .map_err(|e| OwError::Decode(format!("read header: {e}")))?;
+    let mut h = &header[..];
+    let mut magic = [0u8; 4];
+    h.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(OwError::Decode("not an .owtrace file".into()));
+    }
+    let version = h.get_u16();
+    if version != VERSION {
+        return Err(OwError::Decode(format!("unsupported version {version}")));
+    }
+    let count = h.get_u64() as usize;
+    let duration = Duration::from_nanos(h.get_u64());
+
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)
+        .map_err(|e| OwError::Decode(format!("read records: {e}")))?;
+    if body.len() != count * RECORD_BYTES {
+        return Err(OwError::Decode(format!(
+            "expected {} record bytes, found {}",
+            count * RECORD_BYTES,
+            body.len()
+        )));
+    }
+    let mut packets = Vec::with_capacity(count);
+    let mut b = &body[..];
+    for _ in 0..count {
+        let ts = Instant::from_nanos(b.get_u64());
+        let src_ip = b.get_u32();
+        let dst_ip = b.get_u32();
+        let src_port = b.get_u16();
+        let dst_port = b.get_u16();
+        let proto = b.get_u8();
+        let flags = TcpFlags(b.get_u8());
+        let wire_len = b.get_u16();
+        let app_tag = b.get_u32();
+        packets.push(Packet {
+            ts,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+            tcp_flags: flags,
+            wire_len,
+            ow: OwHeader::normal(),
+            app_tag,
+        });
+    }
+    Ok(Trace { packets, duration })
+}
+
+/// Save a trace to a file path.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), OwError> {
+    let f = std::fs::File::create(path.as_ref())
+        .map_err(|e| OwError::Config(format!("create {}: {e}", path.as_ref().display())))?;
+    write_trace(trace, std::io::BufWriter::new(f))
+}
+
+/// Load a trace from a file path.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, OwError> {
+    let f = std::fs::File::open(path.as_ref())
+        .map_err(|e| OwError::Config(format!("open {}: {e}", path.as_ref().display())))?;
+    read_trace(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceBuilder, TraceConfig};
+
+    fn sample() -> Trace {
+        TraceBuilder::new(TraceConfig {
+            duration: Duration::from_millis(200),
+            flows: 200,
+            packets: 2_000,
+            seed: 9,
+            ..TraceConfig::default()
+        })
+        .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.duration, t.duration);
+        assert_eq!(back.packets.len(), t.packets.len());
+        for (a, b) in t.packets.iter().zip(back.packets.iter()) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.five_tuple(), b.five_tuple());
+            assert_eq!(a.tcp_flags, b.tcp_flags);
+            assert_eq!(a.wire_len, b.wire_len);
+            assert_eq!(a.app_tag, b.app_tag);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let path = std::env::temp_dir().join("owtrace_test.owtrace");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.packets.len(), t.packets.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(
+            &b"NOPE\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"[..],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("owtrace"));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace {
+            packets: Vec::new(),
+            duration: Duration::from_millis(1),
+        };
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert!(back.packets.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Network-wide packet-loss detection and why window consistency matters
+//! (the paper's §5 + Exp#9 in miniature).
+//!
+//! Two switches run LossRadar digests over a lossy link. With
+//! OmniWindow's consistency model (sub-window stamped once at the first
+//! hop), the decoded difference is exactly the lost packets. With
+//! per-switch local clocks that disagree by a PTP-scale deviation,
+//! boundary packets are digested into different sub-windows and decode
+//! as phantom losses.
+//!
+//! Run with: `cargo run --release --example packet_loss_consistency`
+
+use omniwindow::experiments::exp9_consistency::{run, Exp9Config};
+
+fn main() {
+    let cfg = Exp9Config {
+        flows: 200,
+        pkts_per_flow: 40,
+        deviations_us: vec![8, 64, 512],
+        ..Exp9Config::default()
+    };
+    println!(
+        "LossRadar across two switches: {} flows × {} packets, {:.1}% link loss",
+        cfg.flows,
+        cfg.pkts_per_flow,
+        cfg.loss_prob * 100.0
+    );
+
+    let result = run(&cfg);
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>9} {:>6}",
+        "mode", "dev(µs)", "precision", "reported", "truth"
+    );
+    for p in &result.points {
+        println!(
+            "{:<12} {:>8} {:>9.1}% {:>9} {:>6}",
+            p.mode,
+            p.deviation_us,
+            p.precision * 100.0,
+            p.reported,
+            p.truth
+        );
+    }
+
+    for &dev in &cfg.deviations_us {
+        assert_eq!(result.precision("OmniWindow", dev), Some(1.0));
+    }
+    let lc512 = result.precision("LocalClock", 512).unwrap();
+    assert!(lc512 < 0.9, "local clocks must produce phantom losses");
+    println!("\nOmniWindow's consistency keeps loss reports exact; local clocks do not ✓");
+}

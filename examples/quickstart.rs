@@ -1,0 +1,82 @@
+//! Quickstart: sliding-window heavy-hitter detection with OmniWindow.
+//!
+//! Builds a synthetic trace containing a traffic burst that straddles a
+//! window boundary (the paper's Figure-1 pathology), then shows that
+//! (a) an ideal tumbling window misses the burst in *every* window,
+//! (b) OmniWindow's sliding window — five 100 ms sub-windows merged by
+//! the controller — catches it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use omniwindow::app::HeavyHitterApp;
+use omniwindow::config::WindowConfig;
+use omniwindow::mechanisms::{run_ideal, run_omniwindow, Mode};
+use ow_common::time::{Duration, Instant};
+use ow_trace::anomaly::{Anomaly, AnomalyKind};
+use ow_trace::{TraceBuilder, TraceConfig};
+
+fn main() {
+    // 500 ms windows sliding by 100 ms, split into 100 ms sub-windows.
+    let cfg = WindowConfig::paper_default();
+
+    // Background traffic plus a 200-packet burst centred exactly on the
+    // 1 s window boundary: each tumbling window sees only ~100 packets.
+    let burst = Anomaly {
+        kind: AnomalyKind::BoundaryBurst {
+            pkts: 200,
+            boundary: Instant::from_millis(1_000),
+            width: Duration::from_millis(200),
+        },
+        id: 1,
+        start: Instant::from_millis(900),
+        duration: Duration::from_millis(200),
+    };
+    let trace = TraceBuilder::new(TraceConfig {
+        duration: Duration::from_millis(2_000),
+        flows: 2_000,
+        packets: 60_000,
+        seed: 42,
+        ..TraceConfig::default()
+    })
+    .with_anomaly(burst.clone())
+    .build();
+    println!("trace: {} packets over {}", trace.len(), trace.duration);
+
+    // Heavy hitters: five-tuple flows with ≥ 150 packets per window,
+    // detected by an MV-Sketch with 64 KB per sub-window.
+    let app = HeavyHitterApp::mv(150);
+    let burst_key =
+        ow_common::flowkey::FlowKey::five_tuple(burst.attacker(), burst.victim(), 8888, 80, 6);
+
+    let itw = run_ideal(&app, &trace, &cfg, Mode::Tumbling);
+    let caught_tumbling = itw
+        .iter()
+        .filter(|w| w.reported.contains(&burst_key))
+        .count();
+    println!(
+        "ideal tumbling windows reporting the boundary burst: {caught_tumbling} of {}",
+        itw.len()
+    );
+
+    let osw = run_omniwindow(&app, &trace, &cfg, Mode::Sliding, 64 * 1024, 42);
+    let caught_sliding: Vec<usize> = osw
+        .iter()
+        .filter(|w| w.reported.contains(&burst_key))
+        .map(|w| w.index)
+        .collect();
+    println!(
+        "OmniWindow sliding positions reporting it: {:?} of {}",
+        caught_sliding,
+        osw.len()
+    );
+
+    assert_eq!(
+        caught_tumbling, 0,
+        "tumbling windows must miss the split burst"
+    );
+    assert!(
+        !caught_sliding.is_empty(),
+        "OmniWindow's sliding window must catch it"
+    );
+    println!("\nthe burst is invisible to tumbling windows and caught by OmniWindow ✓");
+}

@@ -1,0 +1,76 @@
+//! A tour of OmniWindow's four window-termination signals (§5):
+//! timeout, counter, session, and user-defined — each driving the same
+//! signal engine over an illustrative packet stream.
+//!
+//! Run with: `cargo run --release --example signals_tour`
+
+use ow_common::packet::{Packet, TcpFlags, PROTO_TCP};
+use ow_common::time::{Duration, Instant};
+use ow_switch::signal::{SignalEngine, WindowSignal};
+
+fn pkt(ms: u64, flags: TcpFlags, tag: u32) -> Packet {
+    let mut p = Packet::tcp(Instant::from_millis(ms), 1, 2, 3, 4, flags, 64);
+    p.app_tag = tag;
+    p
+}
+
+fn main() {
+    // ------------------------------------------------------- timeout --
+    println!("1. timeout signal — fixed 100 ms sub-windows");
+    let mut e = SignalEngine::new(WindowSignal::Timeout(Duration::from_millis(100)));
+    for ms in [10u64, 90, 110, 250, 555] {
+        let t = e.on_packet(&pkt(ms, TcpFlags::ack(), 0));
+        println!(
+            "   packet @{ms:>3}ms → sub-window {}{}",
+            e.current(),
+            t.map(|t| format!("  (terminated {})", t.ended))
+                .unwrap_or_default()
+        );
+    }
+
+    // ------------------------------------------------------- counter --
+    println!("\n2. counter signal — new sub-window every 3 TCP packets");
+    fn is_tcp(p: &Packet) -> bool {
+        p.proto == PROTO_TCP
+    }
+    let mut e = SignalEngine::new(WindowSignal::Counter {
+        threshold: 3,
+        predicate: Some(is_tcp),
+    });
+    for i in 0..8u64 {
+        let t = e.on_packet(&pkt(i, TcpFlags::ack(), 0));
+        println!(
+            "   packet {i} → sub-window {}{}",
+            e.current(),
+            t.map(|t| format!("  (counter fired, closed {})", t.ended))
+                .unwrap_or_default()
+        );
+    }
+
+    // ------------------------------------------------------- session --
+    println!("\n3. session signal — 50 ms of silence closes the window");
+    let mut e = SignalEngine::new(WindowSignal::Session(Duration::from_millis(50)));
+    for ms in [0u64, 10, 20, 95, 100, 200] {
+        let t = e.on_packet(&pkt(ms, TcpFlags::ack(), 0));
+        println!(
+            "   packet @{ms:>3}ms → session window {}{}",
+            e.current(),
+            t.map(|t| format!("  (gap detected, closed {})", t.ended))
+                .unwrap_or_default()
+        );
+    }
+
+    // -------------------------------------------------- user-defined --
+    println!("\n4. user-defined signal — the application's iteration tag is the window");
+    let mut e = SignalEngine::new(WindowSignal::UserDefined);
+    for (ms, tag) in [(0u64, 1u32), (5, 1), (10, 2), (12, 1), (20, 3)] {
+        let t = e.on_packet(&pkt(ms, TcpFlags::ack(), tag));
+        println!(
+            "   packet tag={tag} → window {}{}",
+            e.current(),
+            t.map(|t| format!("  (advanced from {})", t.ended))
+                .unwrap_or_default()
+        );
+    }
+    println!("   (the stale tag=1 packet did not move the window backwards)");
+}

@@ -1,0 +1,291 @@
+//! Cross-crate integration tests: the full protocol path from packets
+//! through the switch model to the controller's merged results.
+
+use ow_common::afr::AttrValue;
+use ow_common::flowkey::{FlowKey, KeyKind};
+use ow_common::packet::{Packet, TcpFlags};
+use ow_common::time::{Duration, Instant};
+use ow_controller::collector::{CollectionSession, SessionStatus};
+use ow_controller::rdma::{RdmaRegion, RdmaWriteKind};
+use ow_controller::table::MergeTable;
+use ow_sketch::CountMin;
+use ow_switch::app::FrequencyApp;
+use ow_switch::signal::WindowSignal;
+use ow_switch::{Switch, SwitchConfig, SwitchEvent};
+
+type App = FrequencyApp<CountMin>;
+
+fn mk_switch(first_hop: bool, fk_capacity: usize) -> Switch<App> {
+    let app = |s| FrequencyApp::new(CountMin::new(2, 8192, s), KeyKind::SrcIp, false);
+    Switch::new(
+        SwitchConfig {
+            first_hop,
+            fk_capacity,
+            expected_flows: 16 * 1024,
+            signal: WindowSignal::Timeout(Duration::from_millis(100)),
+            cr_wait: Duration::from_millis(1),
+            ..SwitchConfig::default()
+        },
+        app(1),
+        app(2),
+    )
+}
+
+fn pkt(src: u32, ms: u64) -> Packet {
+    Packet::tcp(Instant::from_millis(ms), src, 9, 1, 80, TcpFlags::ack(), 64)
+}
+
+/// Drive a trace through the switch, feed every AFR batch through a
+/// reliability session into the merge table, and return the table.
+fn run_pipeline(switch: &mut Switch<App>, packets: Vec<Packet>) -> MergeTable {
+    let mut table = MergeTable::new();
+    let mut events = Vec::new();
+    for p in packets {
+        events.extend(switch.process(p));
+    }
+    events.extend(switch.flush());
+
+    let mut announced: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for e in &events {
+        if let SwitchEvent::Trigger {
+            ended,
+            tracked_keys,
+            ..
+        } = e
+        {
+            announced.insert(*ended, *tracked_keys);
+        }
+    }
+    for e in events {
+        if let SwitchEvent::AfrBatch {
+            subwindow, outcome, ..
+        } = e
+        {
+            // The reliability path: a session checks the batch against
+            // the trigger's announced key count before merging.
+            let expect = announced.get(&subwindow).copied().unwrap_or(0);
+            let mut session =
+                CollectionSession::new(subwindow, expect.min(outcome.afrs.len() as u32));
+            for afr in &outcome.afrs {
+                session.receive(*afr).expect("AFR for right sub-window");
+            }
+            assert_eq!(session.status(), SessionStatus::Complete);
+            table.insert_batch(subwindow, session.into_batch());
+        }
+    }
+    table
+}
+
+#[test]
+fn end_to_end_counts_are_exact_without_contention() {
+    let mut sw = mk_switch(true, 4096);
+    let mut packets = Vec::new();
+    // Host 5 sends 37 packets per sub-window for 5 sub-windows; host 6
+    // sends 3 per sub-window.
+    for s in 0..5u64 {
+        for i in 0..37 {
+            packets.push(pkt(5, s * 100 + 1 + i * 2));
+        }
+        for i in 0..3 {
+            packets.push(pkt(6, s * 100 + 50 + i));
+        }
+    }
+    packets.sort_by_key(|p| p.ts);
+    let table = run_pipeline(&mut sw, packets);
+
+    assert_eq!(
+        table.get(&FlowKey::src_ip(5)),
+        Some(&AttrValue::Frequency(37 * 5))
+    );
+    assert_eq!(
+        table.get(&FlowKey::src_ip(6)),
+        Some(&AttrValue::Frequency(15))
+    );
+    // Threshold query over the merged window.
+    let heavy = table.flows_over(100.0);
+    assert_eq!(heavy.len(), 1);
+    assert_eq!(heavy[0].0, FlowKey::src_ip(5));
+}
+
+#[test]
+fn overflow_keys_still_produce_afrs() {
+    // fk_buffer of 2: keys overflow to the controller (Algorithm 1
+    // lines 5-6) yet every flow's AFR must still be generated.
+    let mut sw = mk_switch(true, 2);
+    let mut packets = Vec::new();
+    for src in 1..=10u32 {
+        for i in 0..5 {
+            packets.push(pkt(src, 10 + i));
+        }
+    }
+    packets.sort_by_key(|p| p.ts);
+    let table = run_pipeline(&mut sw, packets);
+    for src in 1..=10u32 {
+        assert_eq!(
+            table.get(&FlowKey::src_ip(src)),
+            Some(&AttrValue::Frequency(5)),
+            "flow {src}"
+        );
+    }
+}
+
+#[test]
+fn boundary_flow_crosses_threshold_only_after_merging() {
+    // The paper's §4.1 example end-to-end: 60 packets in one sub-window
+    // and 80 in the next; threshold 100.
+    let mut sw = mk_switch(true, 4096);
+    let mut packets = Vec::new();
+    for i in 0..60u64 {
+        packets.push(pkt(42, 30 + i));
+    }
+    for i in 0..80u64 {
+        packets.push(pkt(42, 110 + i));
+    }
+    let table = run_pipeline(&mut sw, packets);
+    assert_eq!(
+        table.get(&FlowKey::src_ip(42)),
+        Some(&AttrValue::Frequency(140))
+    );
+    assert!(!table.flows_over(100.0).is_empty());
+}
+
+#[test]
+fn transit_switch_agrees_with_first_hop() {
+    // Two switches in series: the first stamps, the second adopts. Both
+    // must attribute every packet to the same sub-window.
+    let mut first = mk_switch(true, 4096);
+    let mut second = mk_switch(false, 4096);
+
+    let mut first_batches: std::collections::HashMap<u32, u64> = Default::default();
+    let mut second_batches: std::collections::HashMap<u32, u64> = Default::default();
+
+    let mut downstream = Vec::new();
+    for s in 0..4u64 {
+        for i in 0..25 {
+            let p = pkt(7, s * 100 + 1 + i * 3);
+            for e in first.process(p) {
+                match e {
+                    SwitchEvent::Forward(fp) => downstream.push(fp),
+                    SwitchEvent::AfrBatch {
+                        subwindow, outcome, ..
+                    } => {
+                        let v = outcome
+                            .afrs
+                            .iter()
+                            .find(|r| r.key == FlowKey::src_ip(7))
+                            .map(|r| r.attr.scalar() as u64)
+                            .unwrap_or(0);
+                        first_batches.insert(subwindow, v);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    for e in first.flush() {
+        if let SwitchEvent::AfrBatch {
+            subwindow, outcome, ..
+        } = e
+        {
+            let v = outcome
+                .afrs
+                .iter()
+                .find(|r| r.key == FlowKey::src_ip(7))
+                .map(|r| r.attr.scalar() as u64)
+                .unwrap_or(0);
+            first_batches.insert(subwindow, v);
+        }
+    }
+
+    // Downstream packets arrive 30µs later (transit delay) — without the
+    // embedded stamp, boundary packets would shift sub-windows.
+    for mut p in downstream {
+        p.ts += Duration::from_micros(30);
+        for e in second.process(p) {
+            if let SwitchEvent::AfrBatch {
+                subwindow, outcome, ..
+            } = e
+            {
+                let v = outcome
+                    .afrs
+                    .iter()
+                    .find(|r| r.key == FlowKey::src_ip(7))
+                    .map(|r| r.attr.scalar() as u64)
+                    .unwrap_or(0);
+                second_batches.insert(subwindow, v);
+            }
+        }
+    }
+    for e in second.flush() {
+        if let SwitchEvent::AfrBatch {
+            subwindow, outcome, ..
+        } = e
+        {
+            let v = outcome
+                .afrs
+                .iter()
+                .find(|r| r.key == FlowKey::src_ip(7))
+                .map(|r| r.attr.scalar() as u64)
+                .unwrap_or(0);
+            second_batches.insert(subwindow, v);
+        }
+    }
+
+    // Same per-sub-window counts on both switches — the consistency
+    // guarantee that makes network-wide telemetry interpretable.
+    for (sw, v1) in &first_batches {
+        let v2 = second_batches.get(sw).copied().unwrap_or(0);
+        assert_eq!(*v1, v2, "sub-window {sw}: {v1} upstream vs {v2} downstream");
+    }
+}
+
+#[test]
+fn rdma_path_matches_cpu_path() {
+    // The same AFR stream through (a) the merge table (controller CPU)
+    // and (b) the simulated RDMA region with hot keys — identical merged
+    // values for the hot keys.
+    let mut table = MergeTable::new();
+    let mut region = RdmaRegion::new();
+    let hot = FlowKey::src_ip(1);
+    region.promote(hot);
+
+    for sw in 0..5u32 {
+        let afrs = vec![
+            ow_common::afr::FlowRecord::frequency(hot, 60 + sw as u64, sw),
+            ow_common::afr::FlowRecord::frequency(FlowKey::src_ip(2), 5, sw),
+        ];
+        for r in &afrs {
+            let kind = region.switch_write(*r);
+            if r.key == hot {
+                assert_eq!(kind, RdmaWriteKind::FetchAdd);
+            } else {
+                assert_eq!(kind, RdmaWriteKind::BufferAppend);
+            }
+        }
+        table.insert_batch(sw, afrs);
+    }
+    // Hot key: RNIC-accumulated value equals the CPU-merged value.
+    let cpu = table.get(&hot).unwrap().scalar() as u64;
+    assert_eq!(region.hot_value(&hot), Some(cpu));
+    // Cold keys came through the buffer and must drain completely.
+    assert_eq!(region.drain_buffer().len(), 5);
+}
+
+#[test]
+fn header_stamps_survive_wire_roundtrip() {
+    // The sub-window stamp must survive serialisation between switches.
+    let mut first = mk_switch(true, 1024);
+    let p = pkt(9, 250);
+    let forwarded = first
+        .process(p)
+        .into_iter()
+        .find_map(|e| match e {
+            SwitchEvent::Forward(fp) => Some(fp),
+            _ => None,
+        })
+        .expect("forwarded");
+    assert_eq!(forwarded.ow.subwindow, 2);
+    let wire = forwarded.ow.encode();
+    let decoded = ow_common::packet::OwHeader::decode(wire).unwrap();
+    assert_eq!(decoded, forwarded.ow);
+}
