@@ -7,10 +7,15 @@
 //!   ground-truth flows.
 //! * **AARE** — the ARE averaged again across windows (the paper computes
 //!   AARE for the per-window cardinality query).
+//!
+//! Alongside accuracy, [`ReliabilityMetrics`] counts what the §8 AFR
+//! recovery loop did: retransmission rounds, recovered AFRs, OS-path
+//! escalations, and the virtual wall-clock spent reaching completeness.
 
 use std::collections::HashSet;
 
 use crate::flowkey::FlowKey;
+use crate::time::Duration;
 
 /// Precision/recall of a reported set against a ground-truth set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +101,69 @@ pub fn mean(values: &[f64]) -> f64 {
     }
 }
 
+/// Counters surfaced by the controller's AFR reliability loop (§8,
+/// "Reliability of AFRs").
+///
+/// One value describes one collection session (a single switch,
+/// sub-window pair); sessions aggregate with [`ReliabilityMetrics::merge`]
+/// into per-window or per-run totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityMetrics {
+    /// AFRs the trigger packet announced.
+    pub announced: u64,
+    /// Distinct AFRs that survived the initial lowest-priority stream.
+    pub first_pass: u64,
+    /// Retransmission rounds the session ran (0 when the first pass was
+    /// already complete).
+    pub retransmit_rounds: u64,
+    /// Retransmission requests put on the wire (counted even when the
+    /// request itself is lost).
+    pub retransmit_requests: u64,
+    /// Distinct AFRs recovered by retransmission.
+    pub recovered: u64,
+    /// Duplicate AFR copies discarded (retransmissions that crossed
+    /// their original, or channel-duplicated clones).
+    pub duplicates: u64,
+    /// Sessions that gave up on retransmission and read the sub-window
+    /// through the slow switch-OS path.
+    pub escalations: u64,
+    /// Virtual wall-clock from generation end to a complete batch
+    /// (timeouts waited plus any charged OS-read latency).
+    pub wall_clock: Duration,
+}
+
+impl ReliabilityMetrics {
+    /// Fold another session's counters into this aggregate. Counters
+    /// add; `wall_clock` adds too, making the aggregate the *total*
+    /// recovery time across sessions (sessions are sequential per
+    /// switch in the model).
+    pub fn merge(&mut self, other: &ReliabilityMetrics) {
+        self.announced += other.announced;
+        self.first_pass += other.first_pass;
+        self.retransmit_rounds += other.retransmit_rounds;
+        self.retransmit_requests += other.retransmit_requests;
+        self.recovered += other.recovered;
+        self.duplicates += other.duplicates;
+        self.escalations += other.escalations;
+        self.wall_clock += other.wall_clock;
+    }
+
+    /// Fraction of announced AFRs lost on the first pass (0.0 when
+    /// nothing was announced).
+    pub fn first_pass_loss(&self) -> f64 {
+        if self.announced == 0 {
+            0.0
+        } else {
+            (self.announced - self.first_pass.min(self.announced)) as f64 / self.announced as f64
+        }
+    }
+
+    /// Whether the recovery loop had any work to do.
+    pub fn lossless(&self) -> bool {
+        self.retransmit_rounds == 0 && self.escalations == 0
+    }
+}
+
 /// Relative error of a single scalar estimate.
 pub fn relative_error(estimate: f64, truth: f64) -> f64 {
     if truth == 0.0 {
@@ -165,6 +233,30 @@ mod tests {
         assert_eq!(relative_error(0.0, 0.0), 0.0);
         assert!(relative_error(1.0, 0.0).is_infinite());
         assert!((relative_error(12.0, 10.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_metrics_merge_and_loss() {
+        let mut total = ReliabilityMetrics::default();
+        assert!(total.lossless());
+        assert_eq!(total.first_pass_loss(), 0.0);
+        let session = ReliabilityMetrics {
+            announced: 10,
+            first_pass: 7,
+            retransmit_rounds: 2,
+            retransmit_requests: 2,
+            recovered: 3,
+            duplicates: 1,
+            escalations: 0,
+            wall_clock: Duration::from_micros(400),
+        };
+        total.merge(&session);
+        total.merge(&session);
+        assert_eq!(total.announced, 20);
+        assert_eq!(total.recovered, 6);
+        assert_eq!(total.wall_clock, Duration::from_micros(800));
+        assert!((total.first_pass_loss() - 0.3).abs() < 1e-12);
+        assert!(!total.lossless());
     }
 
     #[test]

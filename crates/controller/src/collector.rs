@@ -62,6 +62,16 @@ impl CollectionSession {
         Ok(())
     }
 
+    /// How many AFRs the trigger announced for this session.
+    pub fn announced(&self) -> u32 {
+        self.announced
+    }
+
+    /// Distinct sequence ids received so far (duplicates collapse).
+    pub fn received(&self) -> usize {
+        self.received.len()
+    }
+
     /// Session status given everything received so far.
     pub fn status(&self) -> SessionStatus {
         if self.received.len() as u32 >= self.announced {

@@ -26,14 +26,16 @@
 pub mod collector;
 pub mod live;
 pub mod rdma;
+pub mod reliability;
 pub mod simd;
 pub mod table;
 pub mod timing;
 pub mod wire;
 
 pub use collector::{CollectionSession, SessionStatus};
-pub use live::{LiveController, LiveHandle};
+pub use live::{LiveController, LiveHandle, ReliableLiveController, ReliableMsg};
 pub use rdma::{RdmaRegion, RdmaWriteKind};
+pub use reliability::{AfrTransport, FnTransport, ReliabilityDriver, RetryPolicy, SessionOutcome};
 pub use table::MergeTable;
 pub use timing::{InstrumentedController, OpBreakdown};
 pub use wire::{decode_batch, encode_batch};

@@ -8,6 +8,7 @@
 //! that folds them into a shared, lock-protected merge table; queries
 //! read the table concurrently through the [`LiveHandle`].
 
+use std::collections::HashMap;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -16,7 +17,11 @@ use std::sync::Arc;
 
 use ow_common::afr::FlowRecord;
 use ow_common::flowkey::FlowKey;
+use ow_common::metrics::ReliabilityMetrics;
+use ow_common::time::Duration;
 
+use crate::collector::CollectionSession;
+use crate::reliability::{FnTransport, ReliabilityDriver, RetryPolicy};
 use crate::table::MergeTable;
 
 /// A message from the data plane to the controller.
@@ -114,6 +119,167 @@ impl LiveController {
     }
 }
 
+/// A message on the reliability-aware live path. Unlike
+/// [`DataPlaneMsg`], AFRs stream individually (they are individually
+/// droppable on the wire) and each sub-window is bracketed by an
+/// announcement and an end-of-stream mark.
+#[derive(Debug, Clone)]
+pub enum ReliableMsg {
+    /// Trigger-packet announcement: `announced` AFRs are coming for
+    /// `subwindow`. A duplicate announcement (the trigger clone was
+    /// duplicated in the fabric) is idempotent.
+    Announce {
+        /// The terminated sub-window.
+        subwindow: u32,
+        /// How many AFRs its batch holds.
+        announced: u32,
+    },
+    /// One AFR report clone — whatever survived the lossy channel, in
+    /// arrival order (possibly before its announcement).
+    Afr(FlowRecord),
+    /// The switch finished emitting `subwindow`'s initial stream; the
+    /// controller may now run the recovery loop and merge.
+    EndOfStream {
+        /// The sub-window whose stream ended.
+        subwindow: u32,
+    },
+    /// End of input: finalize every open session, then exit.
+    Shutdown,
+}
+
+/// Controller→switch back-channel serving retransmission requests:
+/// `(subwindow, missing seq ids) → replayed AFRs` (empty when the
+/// request or its replies were lost).
+pub type RetransmitFn = Box<dyn FnMut(u32, &[u32]) -> Vec<FlowRecord> + Send>;
+
+/// The OS-path escalation: `subwindow → (full batch, charged latency)`.
+pub type OsReadFn = Box<dyn FnMut(u32) -> (Vec<FlowRecord>, Duration) + Send>;
+
+/// A [`LiveController`] variant that tolerates AFR loss: per-sub-window
+/// [`CollectionSession`]s verify completeness against the announced
+/// count, and a [`ReliabilityDriver`] runs the §8 recovery loop
+/// (retransmission rounds, then OS-path escalation) through caller
+/// supplied callbacks before anything is merged. Only complete batches
+/// ever reach the table.
+pub struct ReliableLiveController {
+    /// Send announcements, AFRs, end-of-stream marks, then `Shutdown`.
+    pub sender: Sender<ReliableMsg>,
+    /// Concurrent query access.
+    pub handle: LiveHandle,
+    thread: JoinHandle<ReliabilityMetrics>,
+}
+
+impl ReliableLiveController {
+    /// Spawn the controller thread. `retransmit` and `os_read` are the
+    /// back-channel to the switch (typically spliced through a lossy
+    /// channel in experiments).
+    pub fn spawn(
+        window_subwindows: usize,
+        queue_depth: usize,
+        policy: RetryPolicy,
+        mut retransmit: RetransmitFn,
+        mut os_read: OsReadFn,
+    ) -> ReliableLiveController {
+        let (tx, rx): (Sender<ReliableMsg>, Receiver<ReliableMsg>) = bounded(queue_depth);
+        let table = Arc::new(RwLock::new(MergeTable::new()));
+        let handle = LiveHandle {
+            table: table.clone(),
+            window_subwindows,
+        };
+        let thread = std::thread::spawn(move || {
+            let driver = ReliabilityDriver::new(policy);
+            let mut total = ReliabilityMetrics::default();
+            // Open sessions and AFRs that raced ahead of their
+            // announcement (reordering across the message stream).
+            let mut sessions: HashMap<u32, (CollectionSession, ReliabilityMetrics)> =
+                HashMap::new();
+            let mut early: HashMap<u32, Vec<FlowRecord>> = HashMap::new();
+
+            let feed = |entry: &mut (CollectionSession, ReliabilityMetrics), rec: FlowRecord| {
+                let before = entry.0.received();
+                if entry.0.receive(rec).is_ok() {
+                    if entry.0.received() > before {
+                        entry.1.first_pass += 1;
+                    } else {
+                        entry.1.duplicates += 1;
+                    }
+                }
+            };
+
+            let mut finalize = |subwindow: u32,
+                                entry: (CollectionSession, ReliabilityMetrics),
+                                total: &mut ReliabilityMetrics| {
+                let (mut session, mut metrics) = entry;
+                driver.complete_session(
+                    &mut session,
+                    &mut metrics,
+                    &mut FnTransport {
+                        retransmit: &mut retransmit,
+                        os_read: &mut os_read,
+                    },
+                );
+                total.merge(&metrics);
+                let mut t = table.write();
+                t.insert_batch(subwindow, session.into_batch());
+                while t.subwindows().len() > window_subwindows {
+                    t.evict_oldest();
+                }
+            };
+
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    ReliableMsg::Announce {
+                        subwindow,
+                        announced,
+                    } => {
+                        let entry = sessions.entry(subwindow).or_insert_with(|| {
+                            let m = ReliabilityMetrics {
+                                announced: announced as u64,
+                                ..Default::default()
+                            };
+                            (CollectionSession::new(subwindow, announced), m)
+                        });
+                        for rec in early.remove(&subwindow).unwrap_or_default() {
+                            feed(entry, rec);
+                        }
+                    }
+                    ReliableMsg::Afr(rec) => match sessions.get_mut(&rec.subwindow) {
+                        Some(entry) => feed(entry, rec),
+                        None => early.entry(rec.subwindow).or_default().push(rec),
+                    },
+                    ReliableMsg::EndOfStream { subwindow } => {
+                        if let Some(entry) = sessions.remove(&subwindow) {
+                            finalize(subwindow, entry, &mut total);
+                        }
+                    }
+                    ReliableMsg::Shutdown => break,
+                }
+            }
+            // Sessions whose end-of-stream mark was lost still complete:
+            // the recovery loop fetches whatever the first pass missed.
+            let mut rest: Vec<(u32, (CollectionSession, ReliabilityMetrics))> =
+                sessions.drain().collect();
+            rest.sort_by_key(|(sw, _)| *sw);
+            for (sw, entry) in rest {
+                finalize(sw, entry, &mut total);
+            }
+            total
+        });
+        ReliableLiveController {
+            sender: tx,
+            handle,
+            thread,
+        }
+    }
+
+    /// Signal shutdown and wait for the controller thread; returns the
+    /// aggregated reliability counters across all sessions.
+    pub fn join(self) -> ReliabilityMetrics {
+        let _ = self.sender.send(ReliableMsg::Shutdown);
+        self.thread.join().expect("controller thread panicked")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +331,134 @@ mod tests {
     fn shutdown_without_traffic() {
         let ctl = LiveController::spawn(5, 4);
         assert_eq!(ctl.join(), 0);
+    }
+
+    fn seq_batch(sw: u32, n: u32) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|seq| {
+                let mut r = FlowRecord::frequency(FlowKey::src_ip(seq + 1), seq as u64 + 1, sw);
+                r.seq = seq;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reliable_controller_repairs_lossy_stream() {
+        // The switch retains both sub-windows' batches; the back-channel
+        // replays faithfully.
+        let store: HashMap<u32, Vec<FlowRecord>> =
+            (0..2u32).map(|sw| (sw, seq_batch(sw, 10))).collect();
+        let retrans_store = store.clone();
+        let ctl = ReliableLiveController::spawn(
+            2,
+            64,
+            RetryPolicy::default(),
+            Box::new(move |sw, seqs| {
+                let batch = &retrans_store[&sw];
+                seqs.iter().map(|&s| batch[s as usize]).collect()
+            }),
+            Box::new(|_| panic!("no escalation expected")),
+        );
+        for sw in 0..2u32 {
+            ctl.sender
+                .send(ReliableMsg::Announce {
+                    subwindow: sw,
+                    announced: 10,
+                })
+                .unwrap();
+            // Drop every third AFR from the initial stream.
+            for rec in store[&sw].iter().filter(|r| r.seq % 3 != 0) {
+                ctl.sender.send(ReliableMsg::Afr(*rec)).unwrap();
+            }
+            ctl.sender
+                .send(ReliableMsg::EndOfStream { subwindow: sw })
+                .unwrap();
+        }
+        let handle = ctl.handle.clone();
+        let metrics = ctl.join();
+        // Despite the losses both sub-windows merged complete: every
+        // flow's two-sub-window sum is exact.
+        assert_eq!(handle.merged_flows(), 10);
+        for seq in 0..10u32 {
+            let sum = handle
+                .flows_over(0.0)
+                .into_iter()
+                .find(|(k, _)| *k == FlowKey::src_ip(seq + 1))
+                .map(|(_, v)| v)
+                .unwrap();
+            assert_eq!(sum, 2.0 * (seq as f64 + 1.0));
+        }
+        assert_eq!(metrics.announced, 20);
+        assert_eq!(metrics.first_pass, 12);
+        assert_eq!(metrics.recovered, 8);
+        assert!(metrics.retransmit_rounds >= 2);
+        assert_eq!(metrics.escalations, 0);
+    }
+
+    #[test]
+    fn reliable_controller_handles_reordered_and_duplicated_control_msgs() {
+        let store = seq_batch(4, 5);
+        let retrans_store = store.clone();
+        let ctl = ReliableLiveController::spawn(
+            4,
+            64,
+            RetryPolicy::default(),
+            Box::new(move |_, seqs| seqs.iter().map(|&s| retrans_store[s as usize]).collect()),
+            Box::new(|_| panic!("no escalation expected")),
+        );
+        // AFRs race ahead of their announcement; the trigger arrives
+        // twice (duplicated clone); one AFR arrives twice too.
+        ctl.sender.send(ReliableMsg::Afr(store[1])).unwrap();
+        ctl.sender.send(ReliableMsg::Afr(store[1])).unwrap();
+        for _ in 0..2 {
+            ctl.sender
+                .send(ReliableMsg::Announce {
+                    subwindow: 4,
+                    announced: 5,
+                })
+                .unwrap();
+        }
+        ctl.sender.send(ReliableMsg::Afr(store[3])).unwrap();
+        // End-of-stream mark lost: shutdown finalizes the session.
+        let handle = ctl.handle.clone();
+        let metrics = ctl.join();
+        assert_eq!(handle.merged_flows(), 5);
+        assert_eq!(metrics.first_pass, 2);
+        assert_eq!(metrics.duplicates, 1);
+        assert_eq!(metrics.recovered, 3);
+    }
+
+    #[test]
+    fn reliable_controller_escalates_when_backchannel_dead() {
+        let store = seq_batch(0, 3);
+        let os_store = store.clone();
+        let ctl = ReliableLiveController::spawn(
+            1,
+            16,
+            RetryPolicy {
+                max_rounds: 2,
+                ..RetryPolicy::default()
+            },
+            // The back-channel loses every request.
+            Box::new(|_, _| Vec::new()),
+            Box::new(move |_| (os_store.clone(), Duration::from_millis(40))),
+        );
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: 0,
+                announced: 3,
+            })
+            .unwrap();
+        ctl.sender
+            .send(ReliableMsg::EndOfStream { subwindow: 0 })
+            .unwrap();
+        let handle = ctl.handle.clone();
+        let metrics = ctl.join();
+        assert_eq!(handle.merged_flows(), 3);
+        assert_eq!(metrics.escalations, 1);
+        assert_eq!(metrics.retransmit_rounds, 2);
+        assert!(metrics.wall_clock >= Duration::from_millis(40));
     }
 
     #[test]

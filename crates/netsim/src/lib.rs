@@ -8,6 +8,9 @@
 //! * [`sim`] — a deterministic discrete-event simulator: nodes with
 //!   per-node clock offsets (the PTP deviation model), links with delay,
 //!   jitter, and loss injection,
+//! * [`fault`] — deterministic fault injection for the AFR collection
+//!   path: a seeded per-packet-class lossy channel (drop / duplicate /
+//!   reorder / delay) driving the §8 reliability experiments,
 //! * [`lossradar`] — LossRadar (Li et al., CoNEXT'16): per-sub-window
 //!   packet digests in invertible Bloom lookup tables whose difference
 //!   decodes to exactly the packets lost on the link — *provided* both
@@ -16,8 +19,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod lossradar;
 pub mod sim;
 
+pub use fault::{ClassProfile, ClassStats, FaultConfig, FaultStats, LossyChannel, PacketClass};
 pub use lossradar::{LossRadarMeter, WindowAssign};
 pub use sim::{Link, NetSim, NodeConfig};

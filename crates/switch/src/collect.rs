@@ -15,6 +15,8 @@
 //!   packets to `Reset` clears at the end. Used by protocol-level tests
 //!   and the quickstart to show the mechanism exactly as published.
 
+use std::collections::BTreeMap;
+
 use ow_common::afr::FlowRecord;
 use ow_common::flowkey::FlowKey;
 use ow_common::packet::{OwFlag, OwHeader, Packet};
@@ -205,6 +207,85 @@ impl CrEngine {
             collect_time,
             reset_time,
         }
+    }
+}
+
+/// Switch-side retention of terminated AFR batches (§8, "Reliability of
+/// AFRs").
+///
+/// [`CrEngine::collect_and_reset`] destroys the region state the moment
+/// the batch is generated, so the AFRs themselves are the only copy the
+/// switch still has. They are parked here — indexed by sub-window, in
+/// cheap DRAM on the switch CPU — until the controller either confirms
+/// completeness ([`RetransmitBuffer::release`]) or gives up on the fast
+/// path and reads the whole batch back ([`RetransmitBuffer::full_batch`],
+/// the OS-path escalation). Retransmission requests replay exactly the
+/// requested sequence ids.
+///
+/// The buffer holds at most `capacity` sub-windows (0 = unbounded);
+/// beyond that the oldest batch is evicted, modelling bounded switch-CPU
+/// memory. An eviction before release means that sub-window can no
+/// longer be repaired — the counter is exposed so experiments can detect
+/// an undersized buffer.
+#[derive(Debug, Clone, Default)]
+pub struct RetransmitBuffer {
+    batches: BTreeMap<u32, Vec<FlowRecord>>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RetransmitBuffer {
+    /// A buffer retaining at most `capacity` sub-windows (0 = unbounded).
+    pub fn new(capacity: usize) -> RetransmitBuffer {
+        RetransmitBuffer {
+            batches: BTreeMap::new(),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Park a freshly generated batch, evicting the oldest retained
+    /// sub-window if the buffer is over capacity.
+    pub fn retain(&mut self, subwindow: u32, afrs: &[FlowRecord]) {
+        self.batches.insert(subwindow, afrs.to_vec());
+        while self.capacity > 0 && self.batches.len() > self.capacity {
+            let oldest = *self.batches.keys().next().expect("non-empty");
+            self.batches.remove(&oldest);
+            self.evicted += 1;
+        }
+    }
+
+    /// Replay the requested sequence ids of `subwindow`. Unknown ids and
+    /// sub-windows no longer retained yield nothing (the controller's
+    /// timeout, not an error, handles that).
+    pub fn retransmit(&self, subwindow: u32, seqs: &[u32]) -> Vec<FlowRecord> {
+        match self.batches.get(&subwindow) {
+            None => Vec::new(),
+            Some(batch) => seqs
+                .iter()
+                .filter_map(|&seq| batch.iter().find(|r| r.seq == seq).cloned())
+                .collect(),
+        }
+    }
+
+    /// The full retained batch of `subwindow` (the OS-path readback).
+    pub fn full_batch(&self, subwindow: u32) -> Option<&[FlowRecord]> {
+        self.batches.get(&subwindow).map(Vec::as_slice)
+    }
+
+    /// Drop a batch the controller has confirmed complete.
+    pub fn release(&mut self, subwindow: u32) {
+        self.batches.remove(&subwindow);
+    }
+
+    /// Sub-windows currently retained, oldest first.
+    pub fn retained(&self) -> Vec<u32> {
+        self.batches.keys().copied().collect()
+    }
+
+    /// Batches evicted before the controller released them.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 }
 
@@ -425,6 +506,39 @@ mod tests {
         engine.collect_and_reset(&mut a, &mut t, 0, CollectConfig::default());
         assert_eq!(a.query(&FlowKey::src_ip(1)), AttrValue::Frequency(0));
         assert_eq!(t.total_tracked(), 0);
+    }
+
+    fn afr(seq: u32, sw: u32) -> FlowRecord {
+        let mut r = FlowRecord::frequency(FlowKey::src_ip(seq + 1), seq as u64 + 1, sw);
+        r.seq = seq;
+        r
+    }
+
+    #[test]
+    fn retransmit_buffer_replays_exact_seq_ids() {
+        let mut buf = RetransmitBuffer::new(0);
+        let batch: Vec<FlowRecord> = (0..5).map(|s| afr(s, 7)).collect();
+        buf.retain(7, &batch);
+        let got = buf.retransmit(7, &[1, 3, 9]);
+        assert_eq!(got.len(), 2, "unknown seq 9 is skipped");
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[1].seq, 3);
+        assert_eq!(buf.full_batch(7).unwrap().len(), 5);
+        assert!(buf.retransmit(8, &[0]).is_empty(), "unknown sub-window");
+        buf.release(7);
+        assert!(buf.full_batch(7).is_none());
+        assert!(buf.retransmit(7, &[1]).is_empty());
+    }
+
+    #[test]
+    fn retransmit_buffer_evicts_oldest_beyond_capacity() {
+        let mut buf = RetransmitBuffer::new(2);
+        for sw in 0..4u32 {
+            buf.retain(sw, &[afr(0, sw)]);
+        }
+        assert_eq!(buf.retained(), vec![2, 3]);
+        assert_eq!(buf.evicted(), 2);
+        assert!(buf.full_batch(0).is_none());
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod signal;
 pub mod switch;
 
 pub use app::DataPlaneApp;
-pub use collect::{CollectConfig, CollectOutcome, CrEngine};
+pub use collect::{CollectConfig, CollectOutcome, CrEngine, RetransmitBuffer};
 pub use consistency::ConsistencyModel;
 pub use flowkey::{FlowkeyTracker, TrackOutcome};
 pub use latency::LatencyModel;

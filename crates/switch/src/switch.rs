@@ -5,8 +5,10 @@ use ow_common::flowkey::FlowKey;
 use ow_common::packet::Packet;
 use ow_common::time::{Duration, Instant};
 
+use ow_common::afr::FlowRecord;
+
 use crate::app::DataPlaneApp;
-use crate::collect::{CollectConfig, CollectOutcome, CrEngine};
+use crate::collect::{CollectConfig, CollectOutcome, CrEngine, RetransmitBuffer};
 use crate::consistency::{ConsistencyModel, Placement};
 use crate::flowkey::{FlowkeyTracker, TrackOutcome};
 use crate::latency::LatencyModel;
@@ -33,6 +35,9 @@ pub struct SwitchConfig {
     /// How long after a termination the controller waits before starting
     /// collection, letting out-of-order packets drain (Figure 3).
     pub cr_wait: Duration,
+    /// Terminated AFR batches retained in switch-CPU memory for §8
+    /// retransmission (0 = unbounded).
+    pub retransmit_depth: usize,
     /// Hash seed.
     pub seed: u64,
 }
@@ -48,6 +53,7 @@ impl Default for SwitchConfig {
             collect: CollectConfig::default(),
             latency: LatencyModel::default(),
             cr_wait: Duration::from_millis(1),
+            retransmit_depth: 8,
             seed: 0x5111C4,
         }
     }
@@ -98,6 +104,8 @@ pub struct Switch<A> {
     pending: Option<(u32, Instant)>,
     /// Count of packets dropped into latency-spike handling.
     spikes: u64,
+    /// Terminated AFR batches awaiting controller acknowledgement (§8).
+    retransmit: RetransmitBuffer,
 }
 
 impl<A: DataPlaneApp> Switch<A> {
@@ -111,6 +119,7 @@ impl<A: DataPlaneApp> Switch<A> {
             consistency: ConsistencyModel::new(cfg.first_hop, cfg.preserve),
             state: TwoRegionState::new(region_a, region_b, tracker(0x0A), tracker(0x0B)),
             cr: CrEngine::new(cfg.latency),
+            retransmit: RetransmitBuffer::new(cfg.retransmit_depth),
             cfg,
             pending: None,
             spikes: 0,
@@ -132,6 +141,41 @@ impl<A: DataPlaneApp> Switch<A> {
         &self.state
     }
 
+    /// Serve a controller retransmission request: replay the requested
+    /// sequence ids of a terminated-but-unacknowledged sub-window from
+    /// the switch-CPU retransmit buffer. Sub-windows never collected, or
+    /// already acknowledged/evicted, yield nothing — the controller's
+    /// timeout drives the next step.
+    pub fn handle_retransmit_request(&self, subwindow: u32, seqs: &[u32]) -> Vec<FlowRecord> {
+        self.retransmit.retransmit(subwindow, seqs)
+    }
+
+    /// Controller acknowledgement that `subwindow`'s batch merged
+    /// complete; the retained copy is freed.
+    pub fn ack_collection(&mut self, subwindow: u32) {
+        self.retransmit.release(subwindow);
+    }
+
+    /// The §8 escalation path: read a terminated sub-window's full batch
+    /// through the switch OS, charging the OS-path latency (linear in
+    /// register entries, the slow-but-reliable fallback). Returns `None`
+    /// when the sub-window is no longer retained.
+    pub fn os_read_terminated(&mut self, subwindow: u32) -> Option<(Vec<FlowRecord>, Duration)> {
+        let batch = self.retransmit.full_batch(subwindow)?.to_vec();
+        let app = self.state.active();
+        let cost = self
+            .cr
+            .latency()
+            .os_read(app.meta().register_arrays, app.states_per_array());
+        self.retransmit.release(subwindow);
+        Some((batch, cost))
+    }
+
+    /// The retransmit buffer (for inspection in tests).
+    pub fn retransmit_buffer(&self) -> &RetransmitBuffer {
+        &self.retransmit
+    }
+
     /// Run the due C&R if `now` has passed its start time.
     fn maybe_collect(&mut self, now: Instant, events: &mut Vec<SwitchEvent>) {
         if let Some((ended, due)) = self.pending {
@@ -145,6 +189,10 @@ impl<A: DataPlaneApp> Switch<A> {
         let cfg = self.cfg.collect;
         let (app, tracker) = self.state.inactive_mut();
         let outcome = self.cr.collect_and_reset(app, tracker, ended, cfg);
+        // The region is reset now; the generated batch is the only copy
+        // left on the switch. Park it for §8 retransmission until the
+        // controller acknowledges completeness.
+        self.retransmit.retain(ended, &outcome.afrs);
         self.state.complete_cr();
         self.pending = None;
         events.push(SwitchEvent::AfrBatch {
@@ -378,6 +426,49 @@ mod tests {
             !ev.iter().any(|e| matches!(e, SwitchEvent::LatencySpike(_))),
             "straggler within horizon must not be a spike"
         );
+    }
+
+    #[test]
+    fn collected_batches_are_retained_for_retransmission() {
+        let mut sw = mk_switch(true);
+        for i in 0..4u32 {
+            sw.process(pkt(i + 1, 10));
+        }
+        let events = sw.flush();
+        let (subwindow, announced) = afr_batches(&events)[0];
+        assert!(announced > 0);
+        assert!(sw.retransmit_buffer().retained().contains(&subwindow));
+
+        // Every announced seq id can be replayed, and unknown ids are
+        // silently skipped.
+        let seqs: Vec<u32> = (0..announced as u32).collect();
+        let replayed = sw.handle_retransmit_request(subwindow, &seqs);
+        assert_eq!(replayed.len(), announced);
+        assert!(replayed.iter().all(|r| r.subwindow == subwindow));
+        assert!(sw
+            .handle_retransmit_request(subwindow, &[announced as u32 + 10])
+            .is_empty());
+
+        // Acknowledgement frees the retained copy.
+        sw.ack_collection(subwindow);
+        assert!(sw.handle_retransmit_request(subwindow, &seqs).is_empty());
+    }
+
+    #[test]
+    fn os_read_escalation_returns_full_batch_and_charges_latency() {
+        let mut sw = mk_switch(true);
+        for i in 0..4u32 {
+            sw.process(pkt(i + 1, 10));
+        }
+        let events = sw.flush();
+        let (subwindow, announced) = afr_batches(&events)[0];
+        let (batch, cost) = sw.os_read_terminated(subwindow).expect("retained");
+        assert_eq!(batch.len(), announced);
+        // The OS path is the slow fallback: orders of magnitude above the
+        // recirculation path for the same region.
+        assert!(cost > Duration::from_millis(1), "os read cost {cost}");
+        // The escalation consumes the retained copy.
+        assert!(sw.os_read_terminated(subwindow).is_none());
     }
 
     #[test]

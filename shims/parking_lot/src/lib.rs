@@ -1,0 +1,105 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` locks behind parking_lot's non-poisoning API:
+//! `read()` / `write()` / `lock()` return guards directly instead of a
+//! `LockResult`. A poisoned std lock (a panic while held) is simply
+//! re-entered, matching parking_lot's behaviour of not propagating
+//! panics through locks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync;
+
+/// A reader-writer lock whose guards never report poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Shared-read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire exclusive write access, blocking.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutual-exclusion lock whose guard never reports poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1u32);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_is_still_usable() {
+        let l = Arc::new(RwLock::new(0u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison it");
+        })
+        .join();
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the `serde` shim's `Value` tree as JSON text. Only the
+//! functions the workspace calls are provided (`to_string_pretty`, plus
+//! `to_string` for symmetry); output is valid JSON with proper string
+//! escaping and two-space indentation like the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The shim's value tree is infallible to render,
+/// except for non-finite floats, which JSON cannot represent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(0))?;
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None)?;
+    Ok(out)
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// `indent`: `Some(depth)` pretty-prints, `None` is compact.
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Number(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("JSON cannot represent {f}")));
+            }
+            // Match serde_json: integral floats print with a ".0".
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(d) = indent {
+                    push_indent(out, d + 1);
+                }
+                write_value(item, out, indent.map(|d| d + 1))?;
+            }
+            if let Some(d) = indent {
+                push_indent(out, d);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(d) = indent {
+                    push_indent(out, d + 1);
+                }
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent.map(|d| d + 1))?;
+            }
+            if let Some(d) = indent {
+                push_indent(out, d);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_render_nested_values() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::UInt(3)),
+            (
+                "xs".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("empty".to_string(), Value::Object(vec![])),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"n":3,"xs":[true,null],"empty":{}}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"n\": 3,\n  \"xs\": [\n    true,\n    null\n  ],\n  \"empty\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "a\"b\\c\nd\u{01}".to_string();
+        assert_eq!(to_string(&s).unwrap(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_follow_serde_json_format() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert!(to_string(&f64::NAN).is_err());
+    }
+}

@@ -7,7 +7,9 @@ use ow_common::packet::{Packet, TcpFlags};
 use ow_common::time::{Duration, Instant};
 use ow_controller::collector::{CollectionSession, SessionStatus};
 use ow_controller::rdma::{RdmaRegion, RdmaWriteKind};
+use ow_controller::reliability::{ReliabilityDriver, RetryPolicy};
 use ow_controller::table::MergeTable;
+use ow_netsim::{FaultConfig, LossyChannel, PacketClass};
 use ow_sketch::CountMin;
 use ow_switch::app::FrequencyApp;
 use ow_switch::signal::WindowSignal;
@@ -236,6 +238,175 @@ fn transit_switch_agrees_with_first_hop() {
     for (sw, v1) in &first_batches {
         let v2 = second_batches.get(sw).copied().unwrap_or(0);
         assert_eq!(*v1, v2, "sub-window {sw}: {v1} upstream vs {v2} downstream");
+    }
+}
+
+/// The controller's end of a lossy fabric: the switch's retransmit
+/// handlers spliced behind an `ow-netsim` fault channel. Initial AFR
+/// streams are pre-transmitted (lowest priority, lossy); retransmission
+/// requests and their replies cross the channel too; the OS read is the
+/// reliable fallback.
+struct LossySwitchTransport<'a> {
+    switch: &'a mut Switch<App>,
+    channel: LossyChannel,
+    initial: std::collections::HashMap<u32, Vec<ow_common::afr::FlowRecord>>,
+}
+
+impl ow_controller::reliability::AfrTransport for LossySwitchTransport<'_> {
+    fn initial_afrs(&mut self, subwindow: u32) -> Vec<ow_common::afr::FlowRecord> {
+        self.initial.remove(&subwindow).unwrap_or_default()
+    }
+    fn request_retransmit(
+        &mut self,
+        subwindow: u32,
+        seqs: &[u32],
+    ) -> Vec<ow_common::afr::FlowRecord> {
+        // The request packet itself can be lost.
+        if self
+            .channel
+            .transmit_one(PacketClass::RetransmitRequest, ())
+            .is_empty()
+        {
+            return Vec::new();
+        }
+        let replayed = self.switch.handle_retransmit_request(subwindow, seqs);
+        self.channel.transmit(PacketClass::RetransmitData, replayed)
+    }
+    fn os_read(&mut self, subwindow: u32) -> (Vec<ow_common::afr::FlowRecord>, Duration) {
+        self.switch
+            .os_read_terminated(subwindow)
+            .expect("switch retains unacknowledged batches")
+    }
+}
+
+#[test]
+fn lossy_channel_recovers_byte_identical_merge_table() {
+    // CI varies this seed across a small matrix (see ci.yml); any value
+    // must converge to the loss-free result.
+    let seed_offset: u64 = std::env::var("OW_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    let mk_packets = || {
+        let mut packets = Vec::new();
+        for s in 0..6u64 {
+            for src in 1..=40u32 {
+                for i in 0..(1 + src as u64 % 5) {
+                    packets.push(pkt(src, s * 100 + 1 + i * 7 + src as u64 % 13));
+                }
+            }
+        }
+        packets.sort_by_key(|p| p.ts);
+        packets
+    };
+
+    // Reference: the same trace through an identical switch with a
+    // perfect channel.
+    let mut reference: Vec<(u32, Vec<ow_common::afr::FlowRecord>)> = Vec::new();
+    let mut sw = mk_switch(true, 4096);
+    let mut events = Vec::new();
+    for p in mk_packets() {
+        events.extend(sw.process(p));
+    }
+    events.extend(sw.flush());
+    for e in events {
+        if let SwitchEvent::AfrBatch {
+            subwindow, outcome, ..
+        } = e
+        {
+            reference.push((subwindow, outcome.afrs));
+        }
+    }
+    let mut loss_free = MergeTable::new();
+    for (subwindow, afrs) in &reference {
+        loss_free.insert_batch(*subwindow, afrs.clone());
+    }
+
+    for (i, loss) in [0.01f64, 0.10, 0.30].into_iter().enumerate() {
+        let mut sw = mk_switch(true, 4096);
+        let mut events = Vec::new();
+        for p in mk_packets() {
+            events.extend(sw.process(p));
+        }
+        events.extend(sw.flush());
+
+        let mut batches = Vec::new();
+        for e in events {
+            if let SwitchEvent::AfrBatch {
+                subwindow, outcome, ..
+            } = e
+            {
+                batches.push((subwindow, outcome.afrs));
+            }
+        }
+
+        // Drop `loss` of the AFR clones; the recovery path is reliable
+        // except at 30 %, where requests get lost too.
+        let mut cfg = FaultConfig::afr_loss(0xFA_u64 + i as u64 + seed_offset * 101, loss);
+        if loss >= 0.30 {
+            cfg.retransmit_request.loss = 0.2;
+            cfg.retransmit_data.loss = 0.1;
+        }
+        let mut channel = LossyChannel::new(cfg);
+        let mut initial = std::collections::HashMap::new();
+        for (subwindow, afrs) in &batches {
+            initial.insert(
+                *subwindow,
+                channel.transmit(PacketClass::AfrReport, afrs.clone()),
+            );
+        }
+
+        let mut transport = LossySwitchTransport {
+            switch: &mut sw,
+            channel,
+            initial,
+        };
+        let driver = ReliabilityDriver::new(RetryPolicy::default());
+        let mut table = MergeTable::new();
+        let mut total = ow_common::metrics::ReliabilityMetrics::default();
+        for (idx, (subwindow, afrs)) in batches.iter().enumerate() {
+            let out = driver.collect(&mut transport, *subwindow, afrs.len() as u32);
+            // The recovered batch is byte-identical on the wire to the
+            // loss-free batch of the reference run.
+            assert_eq!(
+                ow_controller::wire::encode_batch(&out.batch),
+                ow_controller::wire::encode_batch(&reference[idx].1),
+                "loss {loss}: sub-window {subwindow} batch diverged"
+            );
+            transport.switch.ack_collection(*subwindow);
+            total.merge(&out.metrics);
+            table.insert_batch(*subwindow, out.batch);
+        }
+
+        // The merged tables agree exactly: same sub-windows, same flows,
+        // same merged values.
+        assert_eq!(table.subwindows(), loss_free.subwindows(), "loss {loss}");
+        assert_eq!(table.len(), loss_free.len(), "loss {loss}");
+        let mut lossy_flows = table.flows_over(0.0);
+        let mut free_flows = loss_free.flows_over(0.0);
+        lossy_flows.sort_by_key(|(k, _)| k.as_u128());
+        free_flows.sort_by_key(|(k, _)| k.as_u128());
+        assert_eq!(lossy_flows, free_flows, "loss {loss}");
+
+        // The reliability loop did real, observable work.
+        assert_eq!(
+            total.announced,
+            reference.iter().map(|(_, b)| b.len() as u64).sum::<u64>()
+        );
+        if loss >= 0.10 {
+            assert!(total.retransmit_rounds > 0, "loss {loss}: no rounds");
+            assert!(total.recovered > 0, "loss {loss}: nothing recovered");
+            assert!(
+                total.wall_clock > Duration::ZERO,
+                "loss {loss}: recovery cost no time"
+            );
+            assert!(total.first_pass_loss() > 0.0, "loss {loss}");
+        }
+        assert!(
+            total.first_pass + total.recovered <= total.announced,
+            "loss {loss}: counters overflow the announced total"
+        );
     }
 }
 

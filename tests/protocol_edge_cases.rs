@@ -3,13 +3,16 @@
 
 use std::collections::HashMap;
 
-use ow_common::afr::AttrValue;
+use ow_common::afr::{AttrValue, FlowRecord};
 use ow_common::flowkey::{FlowKey, KeyKind};
 use ow_common::packet::{Packet, TcpFlags};
 use ow_common::time::{Duration, Instant};
 use ow_controller::collector::{CollectionSession, SessionStatus};
+use ow_controller::live::{ReliableLiveController, ReliableMsg};
+use ow_controller::reliability::{AfrTransport, ReliabilityDriver, RetryPolicy};
 use ow_controller::table::MergeTable;
 use ow_controller::wire::{decode_batch, encode_batch};
+use ow_netsim::{FaultConfig, LossyChannel, PacketClass};
 use ow_sketch::CountMin;
 use ow_switch::app::FrequencyApp;
 use ow_switch::signal::WindowSignal;
@@ -182,6 +185,229 @@ fn afr_loss_detected_and_retransmitted() {
     for r in &afrs {
         assert_eq!(lossy.get(&r.key), lossless.get(&r.key));
     }
+}
+
+/// Run a one-sub-window trace and return the switch (still retaining
+/// the batch for retransmission) plus the batch it produced.
+fn switch_with_one_batch() -> (Switch<App>, u32, Vec<FlowRecord>) {
+    let mut sw = mk_switch(true);
+    let mut packets = Vec::new();
+    for src in 1..=20u32 {
+        for i in 0..(src as u64 % 4 + 1) {
+            packets.push(pkt(src, 10 + i));
+        }
+    }
+    packets.sort_by_key(|p| p.ts);
+    for p in packets {
+        sw.process(p);
+    }
+    let events = sw.flush();
+    let (subwindow, afrs) = events
+        .iter()
+        .find_map(|e| match e {
+            SwitchEvent::AfrBatch {
+                subwindow, outcome, ..
+            } => Some((*subwindow, outcome.afrs.clone())),
+            _ => None,
+        })
+        .expect("one batch");
+    (sw, subwindow, afrs)
+}
+
+/// The retransmission request itself is lost: the round yields nothing,
+/// the timeout fires again, and the next round's request reaches the
+/// switch's retransmit buffer and completes the session.
+#[test]
+fn lost_retransmission_request_is_retried() {
+    struct FlakyRequestPath<'a> {
+        switch: &'a Switch<App>,
+        initial: Vec<FlowRecord>,
+        swallowed: u32,
+        requests_seen: u32,
+    }
+    impl AfrTransport for FlakyRequestPath<'_> {
+        fn initial_afrs(&mut self, _sw: u32) -> Vec<FlowRecord> {
+            std::mem::take(&mut self.initial)
+        }
+        fn request_retransmit(&mut self, sw: u32, seqs: &[u32]) -> Vec<FlowRecord> {
+            self.requests_seen += 1;
+            if self.requests_seen <= self.swallowed {
+                return Vec::new(); // the request died in the fabric
+            }
+            self.switch.handle_retransmit_request(sw, seqs)
+        }
+        fn os_read(&mut self, _sw: u32) -> (Vec<FlowRecord>, Duration) {
+            panic!("must recover without escalating");
+        }
+    }
+
+    let (sw, subwindow, afrs) = switch_with_one_batch();
+    // Half the initial stream is lost.
+    let initial: Vec<FlowRecord> = afrs.iter().filter(|r| r.seq % 2 == 0).copied().collect();
+    let mut transport = FlakyRequestPath {
+        switch: &sw,
+        initial,
+        swallowed: 1,
+        requests_seen: 0,
+    };
+    let out = ReliabilityDriver::new(RetryPolicy::default()).collect(
+        &mut transport,
+        subwindow,
+        afrs.len() as u32,
+    );
+    assert_eq!(out.batch, afrs);
+    assert!(!out.escalated);
+    assert_eq!(transport.requests_seen, 2);
+    assert_eq!(out.metrics.retransmit_rounds, 2);
+    // The second round waited longer than the first (exponential backoff).
+    let policy = RetryPolicy::default();
+    assert_eq!(
+        out.metrics.wall_clock,
+        policy.timeout_for_round(1) + policy.timeout_for_round(2)
+    );
+}
+
+/// A duplicated trigger packet announces the same sub-window twice; the
+/// controller opens one session, counts the sub-window once, and the
+/// merged result is unaffected.
+#[test]
+fn duplicate_trigger_packet_is_idempotent() {
+    let (_sw, subwindow, afrs) = switch_with_one_batch();
+
+    // Force the fault channel to duplicate every trigger clone.
+    let mut cfg = FaultConfig::lossless(42);
+    cfg.trigger.duplicate = 1.0;
+    let mut channel = LossyChannel::new(cfg);
+    let trigger_copies = channel.transmit_one(PacketClass::Trigger, subwindow);
+    assert_eq!(trigger_copies.len(), 2, "channel duplicates the trigger");
+
+    let store = afrs.clone();
+    let ctl = ReliableLiveController::spawn(
+        4,
+        64,
+        RetryPolicy::default(),
+        Box::new(move |_, seqs: &[u32]| seqs.iter().map(|&s| store[s as usize]).collect()),
+        Box::new(|_| panic!("no escalation expected")),
+    );
+    for &sw in &trigger_copies {
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: sw,
+                announced: afrs.len() as u32,
+            })
+            .unwrap();
+    }
+    for r in afrs.iter().skip(3) {
+        ctl.sender.send(ReliableMsg::Afr(*r)).unwrap();
+    }
+    ctl.sender
+        .send(ReliableMsg::EndOfStream { subwindow })
+        .unwrap();
+    let handle = ctl.handle.clone();
+    let metrics = ctl.join();
+
+    // One session, announced counted once, table exact.
+    assert_eq!(metrics.announced, afrs.len() as u64);
+    assert_eq!(handle.merged_flows(), afrs.len());
+    let mut expected = MergeTable::new();
+    expected.insert_batch(subwindow, afrs.clone());
+    for r in &afrs {
+        let merged = handle
+            .flows_over(0.0)
+            .into_iter()
+            .find(|(k, _)| k == &r.key)
+            .map(|(_, v)| v);
+        assert_eq!(merged, Some(expected.get(&r.key).unwrap().scalar()));
+    }
+}
+
+/// A retransmitted AFR crosses its original in flight: both arrive. The
+/// session stays idempotent, the duplicate is counted and discarded, and
+/// the batch is exact.
+#[test]
+fn retransmitted_afr_crossing_original_is_discarded() {
+    struct CrossingPath {
+        store: Vec<FlowRecord>,
+        straggler: FlowRecord,
+    }
+    impl AfrTransport for CrossingPath {
+        fn initial_afrs(&mut self, _sw: u32) -> Vec<FlowRecord> {
+            // seq 1's original is "delayed", not lost: it shows up later.
+            self.store.iter().filter(|r| r.seq != 1).copied().collect()
+        }
+        fn request_retransmit(&mut self, _sw: u32, seqs: &[u32]) -> Vec<FlowRecord> {
+            // The replay arrives together with the delayed original.
+            let mut out: Vec<FlowRecord> = seqs.iter().map(|&s| self.store[s as usize]).collect();
+            out.push(self.straggler);
+            out
+        }
+        fn os_read(&mut self, _sw: u32) -> (Vec<FlowRecord>, Duration) {
+            panic!("no escalation expected");
+        }
+    }
+
+    let (_sw, subwindow, afrs) = switch_with_one_batch();
+    let mut transport = CrossingPath {
+        straggler: afrs[1],
+        store: afrs.clone(),
+    };
+    let out = ReliabilityDriver::new(RetryPolicy::default()).collect(
+        &mut transport,
+        subwindow,
+        afrs.len() as u32,
+    );
+    assert_eq!(out.batch, afrs, "exactly one copy of each seq survives");
+    assert_eq!(out.metrics.recovered, 1);
+    assert_eq!(out.metrics.duplicates, 1, "the crossed copy was discarded");
+    assert_eq!(out.metrics.retransmit_rounds, 1);
+}
+
+/// Every retransmission round fails; after `max_rounds` the controller
+/// escalates to the switch-OS read, which charges its (much larger)
+/// latency but always completes the batch.
+#[test]
+fn escalation_after_max_rounds_reads_switch_os() {
+    struct DeadBackchannel<'a> {
+        switch: &'a mut Switch<App>,
+        initial: Vec<FlowRecord>,
+    }
+    impl AfrTransport for DeadBackchannel<'_> {
+        fn initial_afrs(&mut self, _sw: u32) -> Vec<FlowRecord> {
+            std::mem::take(&mut self.initial)
+        }
+        fn request_retransmit(&mut self, _sw: u32, _seqs: &[u32]) -> Vec<FlowRecord> {
+            Vec::new() // every round is lost
+        }
+        fn os_read(&mut self, sw: u32) -> (Vec<FlowRecord>, Duration) {
+            self.switch.os_read_terminated(sw).expect("retained")
+        }
+    }
+
+    let (mut sw, subwindow, afrs) = switch_with_one_batch();
+    let initial: Vec<FlowRecord> = afrs.iter().take(2).copied().collect();
+    let policy = RetryPolicy {
+        max_rounds: 3,
+        ..RetryPolicy::default()
+    };
+    let mut transport = DeadBackchannel {
+        switch: &mut sw,
+        initial,
+    };
+    let out = ReliabilityDriver::new(policy).collect(&mut transport, subwindow, afrs.len() as u32);
+    assert_eq!(out.batch, afrs);
+    assert!(out.escalated);
+    assert_eq!(out.metrics.retransmit_rounds, 3);
+    assert_eq!(out.metrics.escalations, 1);
+    // The OS path dominates the wall clock: far beyond the waited
+    // timeouts (3 rounds ≤ 3 × max_timeout = 15 ms; the OS read of this
+    // region costs hundreds of milliseconds).
+    let timeouts = (1..=3).fold(Duration::ZERO, |acc, r| acc + policy.timeout_for_round(r));
+    assert!(out.metrics.wall_clock > timeouts + Duration::from_millis(100));
+    // The escalation consumed the retained copy.
+    assert!(
+        sw.retransmit_buffer().retained().is_empty()
+            || !sw.retransmit_buffer().retained().contains(&subwindow)
+    );
 }
 
 /// Hopping windows (slide larger than one sub-window but smaller than
