@@ -10,7 +10,8 @@ use ow_common::time::{Duration, Instant};
 use ow_sketch::{CountMin, MvSketch};
 use ow_switch::app::FrequencyApp;
 use ow_switch::signal::WindowSignal;
-use ow_switch::{Switch, SwitchConfig};
+use ow_switch::SwitchConfig;
+use ow_verify::verified_switch;
 
 const N: usize = 10_000;
 
@@ -49,7 +50,7 @@ fn bench_switch(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let app = |s| FrequencyApp::new(CountMin::new(2, 8_192, s), KeyKind::SrcIp, false);
-                Switch::new(config(), app(1), app(2))
+                verified_switch(config(), app(1), app(2)).expect("pipeline verifies")
             },
             |mut sw| {
                 for p in &pkts {
@@ -65,7 +66,7 @@ fn bench_switch(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let app = |s| FrequencyApp::new(MvSketch::new(2, 2_048, s), KeyKind::SrcIp, false);
-                Switch::new(config(), app(1), app(2))
+                verified_switch(config(), app(1), app(2)).expect("pipeline verifies")
             },
             |mut sw| {
                 for p in &pkts {

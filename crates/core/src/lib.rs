@@ -27,6 +27,10 @@
 //!   user-defined signals (variable-length windows, §5),
 //! * [`lifetime`] — variable-size windows: per-flow lifetime
 //!   reconstruction from retained sub-window batches (the G1 use case),
+//! * [`verify`] (re-export of `ow-verify`) — the static RMT pipeline
+//!   verifier: proves C1–C4 discipline, address-bounds safety, and
+//!   resource fit, and gates all switch construction
+//!   ([`verify::verified_switch`]),
 //! * [`evaluate`] — precision/recall/ARE scoring against the ideals,
 //! * [`experiments`] — one driver per paper experiment (Exp#1–Exp#10),
 //!   shared by the `ow-bench` binaries and the integration tests.
@@ -75,6 +79,9 @@ pub mod lifetime;
 pub mod mechanisms;
 pub mod migration;
 pub mod signal_windows;
+
+/// The static pipeline verifier (re-export of `ow-verify`).
+pub use ow_verify as verify;
 
 pub use app::WindowApp;
 pub use config::WindowConfig;

@@ -14,7 +14,10 @@
 //! * [`lossradar`] — LossRadar (Li et al., CoNEXT'16): per-sub-window
 //!   packet digests in invertible Bloom lookup tables whose difference
 //!   decodes to exactly the packets lost on the link — *provided* both
-//!   ends agree on each packet's sub-window.
+//!   ends agree on each packet's sub-window,
+//! * [`topology`] — a builder for linear paths of OmniWindow switches
+//!   where every node's pipeline is statically verified (`ow-verify`)
+//!   before construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,7 +25,9 @@
 pub mod fault;
 pub mod lossradar;
 pub mod sim;
+pub mod topology;
 
 pub use fault::{ClassProfile, ClassStats, FaultConfig, FaultStats, LossyChannel, PacketClass};
 pub use lossradar::{LossRadarMeter, WindowAssign};
 pub use sim::{Link, NetSim, NodeConfig};
+pub use topology::{TopologyBuilder, VerifiedPath};

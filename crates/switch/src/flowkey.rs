@@ -100,6 +100,13 @@ impl FlowkeyTracker {
         self.overflow.clear();
     }
 
+    /// Resource footprint of the deduplicating Bloom filter (used by
+    /// `ow-verify` to derive the per-hash register arrays this tracker
+    /// implies on real hardware).
+    pub fn bloom_meta(&self) -> ow_sketch::SketchMeta {
+        self.bloom.meta()
+    }
+
     /// Memory footprint in bytes (Bloom bits + 13-byte key slots).
     pub fn memory_bytes(&self) -> usize {
         self.bloom.meta().memory_bytes + self.capacity * 13

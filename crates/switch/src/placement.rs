@@ -61,16 +61,26 @@ impl Default for StageLimits {
 #[derive(Debug, Clone, Serialize)]
 pub struct Feature {
     /// Feature name.
-    pub name: &'static str,
+    pub name: String,
     /// Its steps, in dependency order.
     pub steps: Vec<Step>,
+}
+
+impl Feature {
+    /// Build a feature from a name and its steps in dependency order.
+    pub fn new(name: impl Into<String>, steps: Vec<Step>) -> Feature {
+        Feature {
+            name: name.into(),
+            steps,
+        }
+    }
 }
 
 /// The result of placing features onto the pipeline.
 #[derive(Debug, Clone, Serialize)]
 pub struct Placement {
     /// For each feature, the stage index of each of its steps.
-    pub assignments: Vec<(&'static str, Vec<u32>)>,
+    pub assignments: Vec<(String, Vec<u32>)>,
     /// Number of stages actually used.
     pub stages_used: u32,
     /// Residual capacity per used stage.
@@ -120,7 +130,7 @@ pub fn place(features: &[Feature], limits: StageLimits) -> Result<Placement, OwE
             stages_used = stages_used.max(s as u32 + 1);
             next_stage = s + 1; // dependency: next step strictly later
         }
-        assignments.push((feature.name, stage_of_steps));
+        assignments.push((feature.name.clone(), stage_of_steps));
     }
 
     Ok(Placement {
@@ -136,7 +146,7 @@ pub fn place(features: &[Feature], limits: StageLimits) -> Result<Placement, OwE
 pub fn omniwindow_features(fk_sram_kb: u32, bloom_hashes: u32, rdma_sram_kb: u32) -> Vec<Feature> {
     let mut features = vec![
         Feature {
-            name: "Signal",
+            name: "Signal".into(),
             steps: vec![Step {
                 sram_kb: 32,
                 salus: 1,
@@ -145,7 +155,7 @@ pub fn omniwindow_features(fk_sram_kb: u32, bloom_hashes: u32, rdma_sram_kb: u32
             }],
         },
         Feature {
-            name: "Consistency model",
+            name: "Consistency model".into(),
             steps: vec![Step {
                 sram_kb: 0,
                 salus: 0,
@@ -154,7 +164,7 @@ pub fn omniwindow_features(fk_sram_kb: u32, bloom_hashes: u32, rdma_sram_kb: u32
             }],
         },
         Feature {
-            name: "Address location",
+            name: "Address location".into(),
             steps: vec![Step {
                 sram_kb: 16,
                 salus: 0,
@@ -180,11 +190,11 @@ pub fn omniwindow_features(fk_sram_kb: u32, bloom_hashes: u32, rdma_sram_kb: u32
         gateways: 1,
     });
     features.push(Feature {
-        name: "Flowkey tracking",
+        name: "Flowkey tracking".into(),
         steps: fk_steps,
     });
     features.push(Feature {
-        name: "AFR generation",
+        name: "AFR generation".into(),
         steps: vec![Step {
             sram_kb: 0,
             salus: 0,
@@ -193,7 +203,7 @@ pub fn omniwindow_features(fk_sram_kb: u32, bloom_hashes: u32, rdma_sram_kb: u32
         }],
     });
     features.push(Feature {
-        name: "RDMA opt.",
+        name: "RDMA opt.".into(),
         steps: vec![
             Step {
                 sram_kb: rdma_sram_kb,
@@ -228,7 +238,7 @@ pub fn omniwindow_features(fk_sram_kb: u32, bloom_hashes: u32, rdma_sram_kb: u32
         ],
     });
     features.push(Feature {
-        name: "In-switch reset",
+        name: "In-switch reset".into(),
         steps: vec![
             Step {
                 sram_kb: 32,
@@ -311,7 +321,7 @@ mod tests {
     #[test]
     fn oversized_feature_is_rejected() {
         let features = vec![Feature {
-            name: "huge",
+            name: "huge".into(),
             steps: vec![
                 Step {
                     sram_kb: 10_000, // exceeds any stage
@@ -329,7 +339,7 @@ mod tests {
     fn too_many_dependent_steps_rejected() {
         // 13 dependent steps cannot serialise through 12 stages.
         let features = vec![Feature {
-            name: "deep",
+            name: "deep".into(),
             steps: vec![
                 Step {
                     sram_kb: 1,

@@ -9,10 +9,26 @@
 //! windows cannot be built by re-reading state, and why clear packets
 //! reset one index per pass).
 //!
+//! ## Pass discipline
+//!
+//! A pass is *explicitly scoped*: [`RegisterArray::begin_pass`] opens
+//! it, [`RegisterArray::end_pass`] closes it, and [`RegisterArray::access`]
+//! outside an open pass is an error (a packet cannot touch a SALU without
+//! transiting the pipeline). A `begin_pass` while the previous pass is
+//! still open is tolerated — hardware recycles the SALU on the next
+//! packet regardless — but is counted in [`RegisterArray::leaked_passes`]
+//! so harnesses (and the `ow-verify` soundness property) can assert that
+//! every handler path closes its passes. The PR-1 retransmit / ack /
+//! os-read paths run on the switch CPU and must *not* open passes at
+//! all; they read state through [`RegisterArray::snapshot`], which is
+//! deliberately outside the pass discipline.
+//!
 //! [`FlattenedLayout`] is the §6 memory layout verbatim: two regions
 //! concatenated into one array, with each region's base offset installed
 //! in a match-action table; `address = offset(sub-window) + index`, one
-//! SALU regardless of the region count.
+//! SALU regardless of the region count. Each `access` is one atomic
+//! pipeline pass (begin → SALU → end), so the layout can never leak a
+//! pass.
 
 use ow_common::error::OwError;
 
@@ -32,12 +48,16 @@ pub enum SaluOp {
 /// A register array guarded by one SALU.
 #[derive(Debug, Clone)]
 pub struct RegisterArray {
-    name: &'static str,
+    name: String,
     cells: Vec<u32>,
+    /// Whether a packet pass is currently open.
+    pass_open: bool,
     /// Whether this array was already accessed in the current pass.
     accessed_this_pass: bool,
     /// Total SALU operations (for accounting/tests).
     accesses: u64,
+    /// Passes begun while the previous pass was never ended.
+    leaked_passes: u64,
 }
 
 impl RegisterArray {
@@ -45,13 +65,15 @@ impl RegisterArray {
     ///
     /// # Panics
     /// Panics if `cells == 0`.
-    pub fn new(name: &'static str, cells: usize) -> RegisterArray {
+    pub fn new(name: impl Into<String>, cells: usize) -> RegisterArray {
         assert!(cells > 0, "register array needs at least one cell");
         RegisterArray {
-            name,
+            name: name.into(),
             cells: vec![0; cells],
+            pass_open: false,
             accessed_this_pass: false,
             accesses: 0,
+            leaked_passes: 0,
         }
     }
 
@@ -66,20 +88,55 @@ impl RegisterArray {
     }
 
     /// Start a new packet pass: the SALU becomes available again.
+    ///
+    /// Beginning a pass while the previous one was never ended is
+    /// tolerated (the hardware recycles the SALU on the next packet) but
+    /// counted in [`leaked_passes`](Self::leaked_passes) — a leak means
+    /// some handler path skipped [`end_pass`](Self::end_pass).
     pub fn begin_pass(&mut self) {
+        if self.pass_open {
+            self.leaked_passes += 1;
+        }
+        self.pass_open = true;
         self.accessed_this_pass = false;
     }
 
-    /// Perform one SALU operation. Fails if the array was already
-    /// accessed this pass (C4) or the index is out of range.
+    /// Close the current packet pass. Idempotent: closing an already
+    /// closed pass is a no-op (the packet left the pipeline).
+    pub fn end_pass(&mut self) {
+        self.pass_open = false;
+        self.accessed_this_pass = false;
+    }
+
+    /// Whether a pass is currently open (a packet is in the pipeline).
+    pub fn pass_open(&self) -> bool {
+        self.pass_open
+    }
+
+    /// Passes begun while the previous pass was never ended. A non-zero
+    /// value means a handler path leaked a pass; the `ow-verify`
+    /// soundness property asserts this stays zero for verified programs.
+    pub fn leaked_passes(&self) -> u64 {
+        self.leaked_passes
+    }
+
+    /// Perform one SALU operation. Fails if no pass is open, if the
+    /// array was already accessed this pass (C4), or if the index is out
+    /// of range.
     pub fn access(&mut self, index: usize, op: SaluOp) -> Result<u32, OwError> {
+        if !self.pass_open {
+            return Err(OwError::Protocol(format!(
+                "register '{}' accessed outside a pass (begin_pass was never called)",
+                self.name
+            )));
+        }
         if self.accessed_this_pass {
             return Err(OwError::ResourceExhausted(format!(
                 "register '{}' already accessed this pass (C4: one SALU access per array per packet)",
                 self.name
             )));
         }
-        let (n, name) = (self.cells.len(), self.name);
+        let (n, name) = (self.cells.len(), self.name.as_str());
         let cell = self.cells.get_mut(index).ok_or_else(|| {
             OwError::Config(format!(
                 "index {index} out of range for register '{name}' ({n} cells)"
@@ -111,7 +168,7 @@ impl RegisterArray {
     }
 
     /// Control-plane snapshot (the slow OS path may read freely — it is
-    /// not a packet pass).
+    /// not a packet pass and does not touch the SALU discipline).
     pub fn snapshot(&self) -> &[u32] {
         &self.cells
     }
@@ -131,6 +188,8 @@ impl RegisterArray {
 /// assert_eq!(layout.access(0, 5, SaluOp::Read).unwrap(), 10);
 /// // …through a single SALU, however many regions exist.
 /// assert_eq!(layout.salus(), 1);
+/// // Every access is one atomic pass; none is ever leaked.
+/// assert_eq!(layout.leaked_passes(), 0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct FlattenedLayout {
@@ -142,7 +201,7 @@ pub struct FlattenedLayout {
 
 impl FlattenedLayout {
     /// Build a layout of `regions` regions × `region_cells` cells.
-    pub fn new(name: &'static str, regions: usize, region_cells: usize) -> FlattenedLayout {
+    pub fn new(name: impl Into<String>, regions: usize, region_cells: usize) -> FlattenedLayout {
         assert!(regions > 0 && region_cells > 0, "layout must be non-empty");
         FlattenedLayout {
             array: RegisterArray::new(name, regions * region_cells),
@@ -160,7 +219,9 @@ impl FlattenedLayout {
 
     /// One packet pass: apply `op` at `index` of the sub-window's
     /// region. The MAT lookup computes the physical address; the single
-    /// SALU performs the operation (C4-compliant by construction).
+    /// SALU performs the operation (C4-compliant by construction). The
+    /// pass is scoped atomically — begin, one SALU access, end — so the
+    /// layout can never leak a pass, whichever handler path calls it.
     pub fn access(&mut self, subwindow: u32, index: usize, op: SaluOp) -> Result<u32, OwError> {
         if index >= self.region_cells {
             return Err(OwError::Config(format!(
@@ -170,7 +231,9 @@ impl FlattenedLayout {
         }
         let offset = self.offsets[self.region_of_subwindow(subwindow)];
         self.array.begin_pass();
-        self.array.access(offset + index, op)
+        let result = self.array.access(offset + index, op);
+        self.array.end_pass();
+        result
     }
 
     /// SALUs this layout consumes: always exactly one.
@@ -191,6 +254,12 @@ impl FlattenedLayout {
     /// Total SALU accesses so far.
     pub fn accesses(&self) -> u64 {
         self.array.accesses()
+    }
+
+    /// Passes leaked by the underlying array — zero by construction,
+    /// exposed so harnesses can assert the invariant.
+    pub fn leaked_passes(&self) -> u64 {
+        self.array.leaked_passes()
     }
 }
 
@@ -234,6 +303,52 @@ mod tests {
     }
 
     #[test]
+    fn access_outside_pass_is_protocol_error() {
+        // The audit finding: before PR 2, an access with no begin_pass
+        // silently succeeded once (the initial state looked like an open
+        // pass). Now it is a hard protocol error on every path.
+        let mut r = RegisterArray::new("x", 4);
+        let err = r.access(0, SaluOp::Read).unwrap_err();
+        assert!(err.to_string().contains("outside a pass"), "{err}");
+        // After an ended pass, access is again an error.
+        r.begin_pass();
+        r.access(0, SaluOp::AddSat(1)).unwrap();
+        r.end_pass();
+        assert!(r.access(0, SaluOp::Read).is_err());
+    }
+
+    #[test]
+    fn leaked_passes_are_counted() {
+        let mut r = RegisterArray::new("x", 4);
+        r.begin_pass();
+        r.access(0, SaluOp::AddSat(1)).unwrap();
+        // Pass never ended: the next begin counts a leak but still works.
+        r.begin_pass();
+        assert_eq!(r.leaked_passes(), 1);
+        assert_eq!(r.access(0, SaluOp::Read).unwrap(), 1);
+        r.end_pass();
+        // Disciplined begin/end pairs add no leaks; end is idempotent.
+        r.end_pass();
+        r.begin_pass();
+        r.end_pass();
+        assert_eq!(r.leaked_passes(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_outside_the_pass_discipline() {
+        // The os-read / retransmit / ack paths read via snapshot() on
+        // the switch CPU; they must work with no pass open and must not
+        // consume the SALU.
+        let mut r = RegisterArray::new("x", 4);
+        r.begin_pass();
+        r.access(2, SaluOp::Write(9)).unwrap();
+        r.end_pass();
+        assert_eq!(r.snapshot()[2], 9);
+        assert_eq!(r.accesses(), 1, "snapshot is not a SALU access");
+        assert_eq!(r.leaked_passes(), 0);
+    }
+
+    #[test]
     fn flattened_layout_isolates_regions_with_one_salu() {
         let mut l = FlattenedLayout::new("win_state", 2, 8);
         assert_eq!(l.salus(), 1);
@@ -246,6 +361,8 @@ mod tests {
         // Sub-window 2 reuses region 0 (Figure 5's alternation).
         assert_eq!(l.region_of_subwindow(2), 0);
         assert_eq!(l.access(2, 5, SaluOp::Read).unwrap(), 10);
+        // No pass leaked anywhere along the way.
+        assert_eq!(l.leaked_passes(), 0);
     }
 
     #[test]

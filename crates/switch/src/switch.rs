@@ -110,8 +110,18 @@ pub struct Switch<A> {
 
 impl<A: DataPlaneApp> Switch<A> {
     /// Build a switch from two identically-configured application
-    /// instances (one per memory region).
-    pub fn new(cfg: SwitchConfig, region_a: A, region_b: A) -> Switch<A> {
+    /// instances (one per memory region) **without static verification**.
+    ///
+    /// This constructor assembles the pipeline directly and is the raw
+    /// escape hatch the `ow-verify` witness API is built on: the
+    /// supported way to obtain a `Switch` is
+    /// `ow_verify::verified_switch` (or a
+    /// `VerifiedProgram::build_switch`), which first proves C4, stage
+    /// placement, and resource fit for the program this configuration
+    /// implies. Constructing directly skips those proofs, so a
+    /// constraint violation will only surface as a runtime error in the
+    /// hot path.
+    pub fn new_unchecked(cfg: SwitchConfig, region_a: A, region_b: A) -> Switch<A> {
         let tracker =
             |salt| FlowkeyTracker::new(cfg.fk_capacity, cfg.expected_flows, cfg.seed ^ salt);
         Switch {
@@ -319,7 +329,7 @@ mod tests {
 
     fn mk_switch(first_hop: bool) -> Switch<App> {
         let app = |s| FrequencyApp::new(CountMin::new(2, 1024, s), KeyKind::SrcIp, false);
-        Switch::new(
+        Switch::new_unchecked(
             SwitchConfig {
                 first_hop,
                 fk_capacity: 1024,
@@ -487,7 +497,7 @@ mod tests {
     #[test]
     fn overflow_keys_are_cloned_to_controller() {
         let app = |s| FrequencyApp::new(CountMin::new(2, 1024, s), KeyKind::SrcIp, false);
-        let mut sw = Switch::new(
+        let mut sw = Switch::new_unchecked(
             SwitchConfig {
                 fk_capacity: 2,
                 expected_flows: 64,

@@ -1,0 +1,62 @@
+//! `ow-lint` — verify every pipeline configuration this repo deploys.
+//!
+//! Runs the static verifier over the full [`ow_verify::catalog`] (the
+//! paper's Table-2 resource configurations plus every switch
+//! configuration the examples, tests, benchmarks, and simulator use)
+//! and exits non-zero if any program is rejected.
+//!
+//! ```text
+//! ow-lint            # human-readable, one line per program + diagnostics
+//! ow-lint --json     # machine-readable report array
+//! ow-lint --only X   # restrict to catalog entries whose name contains X
+//! ```
+
+use std::process::ExitCode;
+
+use ow_verify::catalog::repo_programs;
+use ow_verify::verify;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: ow-lint [--json] [--only SUBSTR]");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = 0usize;
+    let mut reports: Vec<String> = Vec::new();
+    for (name, program) in repo_programs() {
+        if let Some(filter) = &only {
+            if !name.contains(filter.as_str()) {
+                continue;
+            }
+        }
+        let report = match verify(&program) {
+            Ok(witness) => witness.report().clone(),
+            Err(report) => {
+                failures += 1;
+                *report
+            }
+        };
+        if json {
+            reports.push(report.to_json());
+        } else {
+            print!("[{name}] {report}");
+        }
+    }
+    if json {
+        println!("[{}]", reports.join(",\n"));
+    }
+    if failures > 0 {
+        eprintln!("ow-lint: {failures} configuration(s) rejected");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,119 @@
+//! The repo-wide configuration catalog `ow-lint` gates on.
+//!
+//! Every switch configuration the examples, integration tests, the
+//! benchmark harness, and the network simulator deploy is enumerated
+//! here as a named [`PipelineProgram`], alongside the paper's Table-2
+//! resource configurations. `ow-lint` verifies all of them; CI fails
+//! if any entry regresses. When a new example or experiment adds a
+//! configuration, it gets a row here — that is the contract.
+
+use ow_common::flowkey::KeyKind;
+use ow_sketch::CountMin;
+use ow_switch::app::{DataPlaneApp, FrequencyApp};
+use ow_switch::resources::ResourceConfig;
+use ow_switch::switch::SwitchConfig;
+
+use crate::derive::program_for_switch;
+use crate::ir::{omniwindow_program, PipelineProgram};
+
+/// Derive the program for a Count-Min deployment (the application every
+/// example and test in this repo wraps).
+fn countmin_program(fk_capacity: usize, expected_flows: usize, width: usize) -> PipelineProgram {
+    let cfg = SwitchConfig {
+        fk_capacity,
+        expected_flows,
+        ..SwitchConfig::default()
+    };
+    let app = FrequencyApp::new(CountMin::new(2, width, 1), KeyKind::SrcIp, false);
+    program_for_switch(&cfg, &app.meta(), app.states_per_array())
+}
+
+/// Every configuration the repo deploys, as `(name, program)` rows.
+pub fn repo_programs() -> Vec<(String, PipelineProgram)> {
+    let mut rows: Vec<(String, PipelineProgram)> = Vec::new();
+
+    // Paper Table-2 resource configurations. 32K states = the Exp#6
+    // 128 KB-per-array Count-Min deployment.
+    rows.push((
+        "table2-default".into(),
+        omniwindow_program(&ResourceConfig::default(), 32 * 1024),
+    ));
+    rows.push((
+        "table2-no-rdma".into(),
+        omniwindow_program(
+            &ResourceConfig {
+                rdma_enabled: false,
+                ..ResourceConfig::default()
+            },
+            32 * 1024,
+        ),
+    ));
+    for hashes in [1u32, 2, 4] {
+        rows.push((
+            format!("table2-hashes-{hashes}"),
+            omniwindow_program(
+                &ResourceConfig {
+                    bloom_hashes: hashes,
+                    ..ResourceConfig::default()
+                },
+                32 * 1024,
+            ),
+        ));
+    }
+
+    // Deployed configurations: examples, integration tests, bench.
+    rows.push((
+        "example-switch-protocol".into(),
+        countmin_program(1024, 4096, 4096),
+    ));
+    rows.push((
+        "example-lossy-afr-recovery".into(),
+        countmin_program(4096, 16 * 1024, 8192),
+    ));
+    rows.push((
+        "example-suspicious-lifetime".into(),
+        countmin_program(4096, 8192, 8192),
+    ));
+    rows.push((
+        "tests-integration".into(),
+        countmin_program(4096, 16 * 1024, 8192),
+    ));
+    rows.push((
+        "bench-switch-pipeline".into(),
+        countmin_program(2048, 4096, 8192),
+    ));
+    rows.push((
+        "switch-defaults".into(),
+        countmin_program(
+            SwitchConfig::default().fk_capacity,
+            SwitchConfig::default().expected_flows,
+            8192,
+        ),
+    ));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+
+    #[test]
+    fn every_catalog_entry_verifies() {
+        for (name, program) in repo_programs() {
+            if let Err(report) = verify(&program) {
+                panic!("catalog entry '{name}' rejected:\n{report}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let rows = repo_programs();
+        for (i, (a, _)) in rows.iter().enumerate() {
+            for (b, _) in rows.iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate catalog name");
+            }
+        }
+    }
+}

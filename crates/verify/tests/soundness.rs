@@ -1,0 +1,355 @@
+//! Soundness of the static verifier against the runtime discipline,
+//! plus one negative test per stable error code.
+//!
+//! The central property: **any program the verifier accepts executes on
+//! the real `ow-switch` register machinery without a C4 violation, an
+//! address error, or a leaked pass**. The verifier and the runtime are
+//! two independent encodings of the §2 constraints; this suite keeps
+//! them from drifting apart.
+
+use ow_switch::placement::StageLimits;
+use ow_verify::exec::execute;
+use ow_verify::{
+    omniwindow_program, verify, AccessDecl, AccessKind, ErrorCode, FeatureDecl, PacketClass,
+    PathDecl, PipelineProgram, RegisterDecl, StepDecl,
+};
+use proptest::prelude::*;
+
+fn kind_of(k: u8) -> AccessKind {
+    match k % 4 {
+        0 => AccessKind::Read,
+        1 => AccessKind::AddSat,
+        2 => AccessKind::Max,
+        _ => AccessKind::Write,
+    }
+}
+
+fn class_of(c: u8) -> PacketClass {
+    match c % 5 {
+        0 => PacketClass::Normal,
+        1 => PacketClass::Clear,
+        2 => PacketClass::Recirculated,
+        3 => PacketClass::Retransmit,
+        _ => PacketClass::OsRead,
+    }
+}
+
+/// Build a program from flat generated data. Deliberately allowed to be
+/// invalid in every dimension the verifier checks: the property filters
+/// on the verifier's verdict, so both accepted and rejected shapes are
+/// exercised.
+#[allow(clippy::type_complexity)]
+fn build_program(
+    registers: Vec<(usize, usize)>,
+    features: Vec<Vec<(u32, u32, u32, u32)>>,
+    paths: Vec<(u8, Vec<(usize, u8, usize)>, Option<u64>)>,
+) -> PipelineProgram {
+    let mut program = PipelineProgram::new("generated", StageLimits::default());
+    for (i, (regions, cells)) in registers.iter().enumerate() {
+        program = program.register(RegisterDecl::new(format!("r{i}"), *regions, *cells));
+    }
+    let nregs = registers.len().max(1);
+    for (i, steps) in features.iter().enumerate() {
+        program = program.feature(FeatureDecl::new(
+            format!("f{i}"),
+            steps
+                .iter()
+                .map(|&(sram_kb, salus, vliw, gateways)| StepDecl {
+                    sram_kb,
+                    salus,
+                    vliw,
+                    gateways,
+                })
+                .collect(),
+        ));
+    }
+    for (i, (class, accesses, bound)) in paths.into_iter().enumerate() {
+        let mut path = PathDecl::new(
+            format!("p{i}"),
+            class_of(class),
+            accesses
+                .into_iter()
+                .map(|(reg, kind, max_index)| {
+                    AccessDecl::new(format!("r{}", reg % nregs), kind_of(kind), max_index)
+                })
+                .collect(),
+        );
+        if let Some(b) = bound {
+            path.max_recirculations = Some(b);
+        }
+        program = program.path(path);
+    }
+    program
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Verifier-accepted programs never hit a runtime C4 / bounds /
+    /// pass-discipline error and leak no pass.
+    #[test]
+    fn accepted_programs_execute_cleanly(
+        registers in proptest::collection::vec((1usize..3, 1usize..64), 1..4),
+        features in proptest::collection::vec(
+            proptest::collection::vec((0u32..200, 0u32..3, 0u32..5, 0u32..4), 1..4),
+            1..4,
+        ),
+        paths in proptest::collection::vec(
+            (
+                0u8..5,
+                proptest::collection::vec((0usize..4, 0u8..4, 0usize..80), 0..5),
+                proptest::option::of(0u64..100),
+            ),
+            1..5,
+        ),
+    ) {
+        let program = build_program(registers, features, paths);
+        if let Ok(witness) = verify(&program) {
+            let exec = execute(&program);
+            prop_assert!(
+                exec.is_ok(),
+                "statically verified program failed at runtime: {:?}\nprogram: {:#?}",
+                exec.err(),
+                witness.program()
+            );
+            let exec = exec.unwrap();
+            prop_assert_eq!(exec.leaked_passes, 0);
+            prop_assert!(witness.placement().stages_used <= program.limits.stages);
+        }
+    }
+
+    /// Rejection is stable: a rejected program is rejected with at least
+    /// one error diagnostic carrying a context string.
+    #[test]
+    fn rejections_carry_diagnostics(
+        registers in proptest::collection::vec((0usize..3, 0usize..64), 0..4),
+        paths in proptest::collection::vec(
+            (
+                0u8..5,
+                proptest::collection::vec((0usize..4, 0u8..4, 0usize..80), 0..6),
+                proptest::option::of(0u64..100),
+            ),
+            0..5,
+        ),
+    ) {
+        let program = build_program(registers, vec![vec![(0, 2, 1, 1)]], paths);
+        if let Err(report) = verify(&program) {
+            prop_assert!(!report.ok);
+            prop_assert!(report.errors().count() > 0);
+            for d in report.errors() {
+                prop_assert!(!d.context.is_empty() && !d.message.is_empty());
+            }
+        }
+    }
+}
+
+/// A minimal valid program each negative test perturbs in exactly one
+/// dimension.
+fn valid_program() -> PipelineProgram {
+    PipelineProgram::new("minimal", StageLimits::default())
+        .register(RegisterDecl::new("state", 2, 16))
+        .register(RegisterDecl::new("counter", 1, 1))
+        .feature(FeatureDecl::new(
+            "update",
+            vec![
+                StepDecl {
+                    sram_kb: 1,
+                    salus: 1,
+                    vliw: 1,
+                    gateways: 1,
+                },
+                StepDecl {
+                    sram_kb: 0,
+                    salus: 1,
+                    vliw: 1,
+                    gateways: 1,
+                },
+            ],
+        ))
+        .path(PathDecl::new(
+            "normal",
+            PacketClass::Normal,
+            vec![
+                AccessDecl::new("state", AccessKind::AddSat, 15),
+                AccessDecl::new("counter", AccessKind::Max, 0),
+            ],
+        ))
+        .path(
+            PathDecl::new(
+                "clear",
+                PacketClass::Clear,
+                vec![AccessDecl::new("state", AccessKind::Write, 15)],
+            )
+            .with_recirc_bound(16),
+        )
+}
+
+#[test]
+fn minimal_valid_program_is_accepted() {
+    let witness = verify(&valid_program()).expect("baseline must verify");
+    assert!(witness.report().ok);
+    assert!(execute(&valid_program()).is_ok());
+}
+
+#[test]
+fn double_salu_access_on_clear_path_is_rejected() {
+    // The ISSUE acceptance case: a clear-packet path touching the same
+    // register array twice in one pass.
+    let mut program = valid_program();
+    program.paths[1]
+        .accesses
+        .push(AccessDecl::new("state", AccessKind::Read, 0));
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::C4DoubleAccess), "{report}");
+    assert!(execute(&program).is_err(), "runtime agrees");
+}
+
+#[test]
+fn unknown_register_is_rejected() {
+    let mut program = valid_program();
+    program.paths[0]
+        .accesses
+        .push(AccessDecl::new("ghost", AccessKind::Read, 0));
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::UnknownRegister), "{report}");
+}
+
+#[test]
+fn bad_register_is_rejected() {
+    let program = valid_program().register(RegisterDecl::new("empty", 2, 0));
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::BadRegister), "{report}");
+
+    let program = valid_program().register(RegisterDecl::new("state", 2, 16));
+    let report = verify(&program).unwrap_err();
+    assert!(
+        report.has_code(ErrorCode::BadRegister),
+        "duplicate: {report}"
+    );
+}
+
+#[test]
+fn out_of_region_index_is_rejected() {
+    let mut program = valid_program();
+    // Index 16 aliases the second region of a 16-cell region.
+    program.paths[0].accesses[0].max_index = 16;
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::AddrOutOfBounds), "{report}");
+    assert!(execute(&program).is_err(), "runtime agrees");
+}
+
+#[test]
+fn stage_overflow_is_rejected() {
+    let steps = vec![
+        StepDecl {
+            sram_kb: 0,
+            salus: 0,
+            vliw: 1,
+            gateways: 0,
+        };
+        13
+    ];
+    let program = valid_program().feature(FeatureDecl::new("long-chain", steps));
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::StageOverflow), "{report}");
+}
+
+#[test]
+fn per_stage_budget_overflows_are_rejected() {
+    let oversized = |step: StepDecl, code: ErrorCode| {
+        let program = valid_program().feature(FeatureDecl::new("fat", vec![step]));
+        let report = verify(&program).unwrap_err();
+        assert!(report.has_code(code), "{code:?}: {report}");
+    };
+    oversized(
+        StepDecl {
+            sram_kb: 2000,
+            salus: 0,
+            vliw: 0,
+            gateways: 0,
+        },
+        ErrorCode::SramOverflow,
+    );
+    oversized(
+        StepDecl {
+            sram_kb: 0,
+            salus: 5,
+            vliw: 0,
+            gateways: 0,
+        },
+        ErrorCode::SaluOverflow,
+    );
+    oversized(
+        StepDecl {
+            sram_kb: 0,
+            salus: 0,
+            vliw: 9,
+            gateways: 0,
+        },
+        ErrorCode::VliwOverflow,
+    );
+    oversized(
+        StepDecl {
+            sram_kb: 0,
+            salus: 0,
+            vliw: 0,
+            gateways: 9,
+        },
+        ErrorCode::GatewayOverflow,
+    );
+}
+
+#[test]
+fn salu_underprovisioning_is_rejected() {
+    let mut program = valid_program();
+    // Strip every SALU from the feature steps: two register arrays are
+    // left with no SALU to serve them.
+    for feature in &mut program.features {
+        for step in &mut feature.steps {
+            step.salus = 0;
+        }
+    }
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::SaluUnderprovisioned), "{report}");
+}
+
+#[test]
+fn unbounded_recirculation_is_rejected() {
+    let mut program = valid_program();
+    program.paths[1].max_recirculations = None;
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::RecircUnbounded), "{report}");
+    assert!(execute(&program).is_err(), "runtime agrees");
+}
+
+#[test]
+fn control_plane_salu_access_is_rejected() {
+    let program = valid_program().path(PathDecl::new(
+        "retransmit",
+        PacketClass::Retransmit,
+        vec![AccessDecl::new("state", AccessKind::Read, 0)],
+    ));
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::ControlPlaneSalu), "{report}");
+    assert!(execute(&program).is_err(), "runtime agrees");
+}
+
+#[test]
+fn missing_clear_path_is_a_warning_not_an_error() {
+    let mut program = valid_program();
+    program.paths.remove(1); // drop the clear path; two-region state remains
+    let witness = verify(&program).expect("warnings do not reject");
+    assert!(witness.report().has_code(ErrorCode::MissingPath));
+    assert!(witness.report().ok);
+}
+
+#[test]
+fn table2_configuration_is_accepted() {
+    // The ISSUE acceptance case: the paper's Table-2 OmniWindow
+    // configuration passes the full verifier.
+    let program = omniwindow_program(&ow_switch::resources::ResourceConfig::default(), 32 * 1024);
+    let witness = verify(&program).expect("Table-2 must verify");
+    assert!(witness.placement().stages_used <= 12);
+    let exec = execute(&program).expect("and execute");
+    assert_eq!(exec.leaked_passes, 0);
+}

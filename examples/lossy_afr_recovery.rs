@@ -22,12 +22,13 @@ use ow_sketch::CountMin;
 use ow_switch::app::FrequencyApp;
 use ow_switch::signal::WindowSignal;
 use ow_switch::{Switch, SwitchConfig, SwitchEvent};
+use ow_verify::verified_switch;
 
 type App = FrequencyApp<CountMin>;
 
 fn mk_switch() -> Switch<App> {
     let app = |s| FrequencyApp::new(CountMin::new(2, 8192, s), KeyKind::SrcIp, false);
-    Switch::new(
+    verified_switch(
         SwitchConfig {
             first_hop: true,
             fk_capacity: 4096,
@@ -39,6 +40,7 @@ fn mk_switch() -> Switch<App> {
         app(1),
         app(2),
     )
+    .expect("pipeline verifies")
 }
 
 fn trace() -> Vec<Packet> {

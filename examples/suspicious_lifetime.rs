@@ -16,7 +16,8 @@ use ow_common::time::{Duration, Instant};
 use ow_sketch::CountMin;
 use ow_switch::app::FrequencyApp;
 use ow_switch::signal::WindowSignal;
-use ow_switch::{Switch, SwitchConfig, SwitchEvent};
+use ow_switch::{SwitchConfig, SwitchEvent};
+use ow_verify::verified_switch;
 
 fn main() {
     // Two "suspicious" flows with different lifetimes among background:
@@ -61,7 +62,7 @@ fn main() {
 
     // Run the switch; retain every AFR batch in a lifetime inspector.
     let app = |s| FrequencyApp::new(CountMin::new(2, 8192, s), KeyKind::SrcIp, false);
-    let mut switch = Switch::new(
+    let mut switch = verified_switch(
         SwitchConfig {
             signal: WindowSignal::Timeout(Duration::from_millis(100)),
             fk_capacity: 4096,
@@ -70,7 +71,8 @@ fn main() {
         },
         app(1),
         app(2),
-    );
+    )
+    .expect("pipeline verifies");
     let mut inspector = LifetimeInspector::new();
     let mut batches: Vec<(u32, Vec<FlowRecord>)> = Vec::new();
     let mut events = Vec::new();

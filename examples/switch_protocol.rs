@@ -15,7 +15,8 @@ use ow_switch::app::{DataPlaneApp, FrequencyApp};
 use ow_switch::collect::{make_collection_packets, PacketCollector, PassResult};
 use ow_switch::flowkey::FlowkeyTracker;
 use ow_switch::signal::WindowSignal;
-use ow_switch::{Switch, SwitchConfig, SwitchEvent};
+use ow_switch::{SwitchConfig, SwitchEvent};
+use ow_verify::verified_switch;
 
 fn main() {
     // ------------------------------------------------------------------
@@ -66,7 +67,7 @@ fn main() {
     // ------------------------------------------------------------------
     println!("— Composed switch + live controller —");
     let mk_app = |s| FrequencyApp::new(CountMin::new(2, 4096, s), KeyKind::SrcIp, false);
-    let mut switch = Switch::new(
+    let mut switch = verified_switch(
         SwitchConfig {
             signal: WindowSignal::Timeout(Duration::from_millis(100)),
             fk_capacity: 1024,
@@ -75,7 +76,8 @@ fn main() {
         },
         mk_app(1),
         mk_app(2),
-    );
+    )
+    .expect("pipeline verifies");
     let controller = LiveController::spawn(5, 64);
 
     // 4 sub-windows of traffic: host 77 sends 40 packets per sub-window.

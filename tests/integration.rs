@@ -14,12 +14,13 @@ use ow_sketch::CountMin;
 use ow_switch::app::FrequencyApp;
 use ow_switch::signal::WindowSignal;
 use ow_switch::{Switch, SwitchConfig, SwitchEvent};
+use ow_verify::verified_switch;
 
 type App = FrequencyApp<CountMin>;
 
 fn mk_switch(first_hop: bool, fk_capacity: usize) -> Switch<App> {
     let app = |s| FrequencyApp::new(CountMin::new(2, 8192, s), KeyKind::SrcIp, false);
-    Switch::new(
+    verified_switch(
         SwitchConfig {
             first_hop,
             fk_capacity,
@@ -31,6 +32,7 @@ fn mk_switch(first_hop: bool, fk_capacity: usize) -> Switch<App> {
         app(1),
         app(2),
     )
+    .expect("pipeline verifies")
 }
 
 fn pkt(src: u32, ms: u64) -> Packet {

@@ -17,12 +17,13 @@ use ow_sketch::CountMin;
 use ow_switch::app::FrequencyApp;
 use ow_switch::signal::WindowSignal;
 use ow_switch::{Switch, SwitchConfig, SwitchEvent};
+use ow_verify::verified_switch;
 
 type App = FrequencyApp<CountMin>;
 
 fn mk_switch(first_hop: bool) -> Switch<App> {
     let app = |s| FrequencyApp::new(CountMin::new(2, 8192, s), KeyKind::SrcIp, false);
-    Switch::new(
+    verified_switch(
         SwitchConfig {
             first_hop,
             fk_capacity: 4096,
@@ -34,6 +35,7 @@ fn mk_switch(first_hop: bool) -> Switch<App> {
         app(1),
         app(2),
     )
+    .expect("pipeline verifies")
 }
 
 fn pkt(src: u32, ms: u64) -> Packet {
