@@ -1,0 +1,163 @@
+//! `bench_cr` — collect-and-reset merge throughput across shard counts.
+//!
+//! Feeds one identical, deterministic AFR workload through the live
+//! sharded controller at shards ∈ {1, 2, 4, 8}, measures the end-to-end
+//! merge rate (records routed, split, folded, and slide-evicted per
+//! second), and asserts the deterministic final fold is **byte-identical**
+//! to the single-shard baseline before reporting anything — a perf
+//! number for a wrong answer is worthless.
+//!
+//! Writes `results/bench_cr.json` (override with `--json <path>`), the
+//! perf-trajectory baseline later PRs compare against.
+
+use std::time::Instant;
+
+use omniwindow::experiments::Scale;
+use ow_bench::Cli;
+use ow_common::afr::FlowRecord;
+use ow_common::flowkey::FlowKey;
+use ow_controller::live::{DataPlaneMsg, LiveController};
+use ow_controller::wire::encode_merged;
+use serde::Serialize;
+
+/// One shard count's measurement.
+#[derive(Debug, Clone, Serialize)]
+struct ShardRow {
+    /// Merge shards (worker threads) behind the controller.
+    shards: usize,
+    /// AFR records pushed through the pipeline.
+    records: u64,
+    /// Wall-clock for ingest + drain, milliseconds.
+    wall_ms: f64,
+    /// `records / wall` — the merge throughput.
+    records_per_sec: f64,
+    /// Flows in the final merged view.
+    merged_flows: usize,
+    /// Whether the encoded final fold equals the 1-shard baseline.
+    byte_identical: bool,
+}
+
+/// The whole `bench_cr` result set.
+#[derive(Debug, Clone, Serialize)]
+struct BenchCr {
+    /// Sub-windows in the workload.
+    subwindows: u32,
+    /// Sliding-window span (sub-windows retained).
+    window_span: usize,
+    /// Records per sub-window.
+    records_per_subwindow: u32,
+    /// Distinct flow keys in the population.
+    key_population: u32,
+    /// Encoded size of the deterministic final fold, bytes.
+    snapshot_bytes: usize,
+    /// Per-shard-count measurements.
+    rows: Vec<ShardRow>,
+}
+
+/// A deterministic workload: `subwindows` batches of `records` AFRs
+/// over a `population`-key space, values mixed so every shard count
+/// replays exactly the same records.
+fn workload(subwindows: u32, records: u32, population: u32, seed: u64) -> Vec<Vec<FlowRecord>> {
+    (0..subwindows)
+        .map(|sw| {
+            (0..records)
+                .map(|i| {
+                    let mix = (u64::from(i))
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(u64::from(sw).wrapping_mul(seed | 1));
+                    let key = (mix >> 16) as u32 % population;
+                    let mut r = FlowRecord::frequency(FlowKey::src_ip(key), (mix & 0x3FF) + 1, sw);
+                    r.seq = i;
+                    r
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let mut cli = Cli::parse();
+    // This binary's JSON artifact is the point: default the dump path
+    // so CI and local runs refresh the committed baseline.
+    if cli.json.is_none() {
+        cli.json = Some("results/bench_cr.json".into());
+    }
+    let (subwindows, records, population) = match cli.scale {
+        Scale::Tiny | Scale::Small => (12u32, 5_000u32, 2_048u32),
+        Scale::Paper => (24u32, 40_000u32, 16_384u32),
+    };
+    let window_span = 8usize;
+    let batches = workload(subwindows, records, population, cli.seed);
+    let total_records = u64::from(subwindows) * u64::from(records);
+
+    eprintln!(
+        "running bench_cr: {subwindows} sub-windows × {records} AFRs, span {window_span}, \
+         shards 1/2/4/8…"
+    );
+
+    let mut rows: Vec<ShardRow> = Vec::new();
+    let mut baseline: Option<Vec<u8>> = None;
+    let mut snapshot_bytes = 0usize;
+    for shards in [1usize, 2, 4, 8] {
+        let ctl = LiveController::spawn_sharded(window_span, 256, shards);
+        let started = Instant::now();
+        for (sw, afrs) in batches.iter().enumerate() {
+            ctl.sender
+                .send(DataPlaneMsg::AfrBatch {
+                    subwindow: sw as u32,
+                    afrs: afrs.clone(),
+                })
+                .expect("controller alive");
+        }
+        let handle = ctl.handle.clone();
+        let routed = ctl.join();
+        let wall = started.elapsed();
+        assert_eq!(routed, u64::from(subwindows), "every batch routed");
+
+        let fold = encode_merged(&handle.snapshot()).to_vec();
+        let byte_identical = match &baseline {
+            None => {
+                snapshot_bytes = fold.len();
+                baseline = Some(fold);
+                true
+            }
+            Some(base) => &fold == base,
+        };
+        assert!(
+            byte_identical,
+            "{shards}-shard fold diverged from the single-shard baseline"
+        );
+
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        rows.push(ShardRow {
+            shards,
+            records: total_records,
+            wall_ms,
+            records_per_sec: total_records as f64 / wall.as_secs_f64(),
+            merged_flows: handle.merged_flows(),
+            byte_identical,
+        });
+    }
+
+    println!("bench_cr: sharded C&R merge throughput (byte-identity asserted)\n");
+    println!(
+        "  {:>6} {:>12} {:>10} {:>14} {:>12}",
+        "shards", "records", "wall ms", "records/s", "merged flows"
+    );
+    for r in &rows {
+        println!(
+            "  {:>6} {:>12} {:>10.1} {:>14.0} {:>12}",
+            r.shards, r.records, r.wall_ms, r.records_per_sec, r.merged_flows
+        );
+    }
+
+    let result = BenchCr {
+        subwindows,
+        window_span,
+        records_per_subwindow: records,
+        key_population: population,
+        snapshot_bytes,
+        rows,
+    };
+    cli.dump(&result);
+}

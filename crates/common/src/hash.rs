@@ -107,6 +107,74 @@ impl HashFamily {
     }
 }
 
+/// The flow-key → shard mapping used by the controller's sharded merge
+/// path.
+///
+/// Every component that splits or routes `FlowRecord`s by key — the
+/// live controller's router, the `ShardedMergeTable`, benchmarks, the
+/// netsim topology builder — must agree on the mapping, so it is pinned
+/// here with a fixed internal seed rather than passed around as a bare
+/// `HashFn`. The mapping is the multiply-shift reduction of the mixed
+/// flow key, i.e. exactly what the sketches use for bucket indexing, so
+/// shard balance inherits the family's uniformity.
+///
+/// Crucially the mapping depends only on `(shards, key)`: re-splitting
+/// the same records at a different shard count moves keys between
+/// shards but never splits one key's records across shards, which is
+/// what makes the sharded merge byte-identical to the single-shard
+/// baseline after the deterministic final fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPartition {
+    shards: usize,
+    h: HashFn,
+}
+
+/// The fixed seed behind every [`ShardPartition`]. Changing it would
+/// silently re-partition deployed tables, so it is a named constant.
+const SHARD_PARTITION_SEED: u64 = 0x0077_5348_4152_4453; // "\0\0wSHARDS"
+
+impl ShardPartition {
+    /// A partition over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` — an empty partition cannot place any
+    /// key.
+    pub fn new(shards: usize) -> ShardPartition {
+        assert!(shards > 0, "ShardPartition requires at least one shard");
+        ShardPartition {
+            shards,
+            h: HashFn::new(SHARD_PARTITION_SEED, 0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`, in `[0, shards)`.
+    #[inline]
+    pub fn shard_of(&self, key: &FlowKey) -> usize {
+        if self.shards == 1 {
+            0
+        } else {
+            self.h.index(key, self.shards)
+        }
+    }
+
+    /// Split a batch of flow records into one vector per shard,
+    /// preserving the input order within each shard (order preservation
+    /// is what keeps per-key merge folds identical across shard
+    /// counts).
+    pub fn split(&self, records: &[crate::afr::FlowRecord]) -> Vec<Vec<crate::afr::FlowRecord>> {
+        let mut out = vec![Vec::new(); self.shards];
+        for rec in records {
+            out[self.shard_of(&rec.key)].push(*rec);
+        }
+        out
+    }
+}
+
 /// A fast `std::hash::Hasher` built on [`mix64`], for the controller's
 /// key-value tables (the stand-in for DPDK `rte_hash`'s CRC hashing —
 /// the default SipHash would dominate the Exp#4 measurements).
@@ -249,6 +317,49 @@ mod tests {
         }
         assert_eq!(m.len(), 100);
         assert_eq!(m.get(&FlowKey::src_ip(42)), Some(&42));
+    }
+
+    #[test]
+    fn shard_partition_is_stable_and_in_range() {
+        let p4 = ShardPartition::new(4);
+        let p4b = ShardPartition::new(4);
+        for i in 0..1000u32 {
+            let k = FlowKey::five_tuple(i, !i, 80, 443, 6);
+            let s = p4.shard_of(&k);
+            assert!(s < 4);
+            assert_eq!(s, p4b.shard_of(&k), "mapping must be deterministic");
+        }
+        let p1 = ShardPartition::new(1);
+        assert_eq!(p1.shard_of(&FlowKey::src_ip(9)), 0);
+    }
+
+    #[test]
+    fn shard_split_preserves_order_and_key_locality() {
+        use crate::afr::{AttrValue, FlowRecord};
+        let p = ShardPartition::new(3);
+        let records: Vec<FlowRecord> = (0..300u32)
+            .map(|i| FlowRecord {
+                key: FlowKey::src_ip(i % 50),
+                attr: AttrValue::Frequency(i as u64),
+                subwindow: 0,
+                seq: i,
+            })
+            .collect();
+        let shards = p.split(&records);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 300);
+        for (s, recs) in shards.iter().enumerate() {
+            // Every record landed on the shard owning its key…
+            assert!(recs.iter().all(|r| p.shard_of(&r.key) == s));
+            // …and input order (seq ascending here) is preserved.
+            assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_partition_rejects_zero() {
+        let _ = ShardPartition::new(0);
     }
 
     #[test]

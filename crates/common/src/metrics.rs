@@ -127,6 +127,11 @@ pub struct ReliabilityMetrics {
     /// Sessions that gave up on retransmission and read the sub-window
     /// through the slow switch-OS path.
     pub escalations: u64,
+    /// Messages refused by a full controller ingest queue under the
+    /// non-blocking `offer` path (the blocking `send` path never
+    /// drops — this counts explicit backpressure rejections, not silent
+    /// loss).
+    pub dropped: u64,
     /// Virtual wall-clock from generation end to a complete batch
     /// (timeouts waited plus any charged OS-read latency).
     pub wall_clock: Duration,
@@ -145,6 +150,7 @@ impl ReliabilityMetrics {
         self.recovered += other.recovered;
         self.duplicates += other.duplicates;
         self.escalations += other.escalations;
+        self.dropped += other.dropped;
         self.wall_clock += other.wall_clock;
     }
 
@@ -248,12 +254,14 @@ mod tests {
             recovered: 3,
             duplicates: 1,
             escalations: 0,
+            dropped: 1,
             wall_clock: Duration::from_micros(400),
         };
         total.merge(&session);
         total.merge(&session);
         assert_eq!(total.announced, 20);
         assert_eq!(total.recovered, 6);
+        assert_eq!(total.dropped, 2);
         assert_eq!(total.wall_clock, Duration::from_micros(800));
         assert!((total.first_pass_loss() - 0.3).abs() < 1e-12);
         assert!(!total.lossless());

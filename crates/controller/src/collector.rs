@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use ow_common::afr::FlowRecord;
+use ow_common::engine::{WindowEvent, WindowFsm, WindowPhase};
 
 /// State of one sub-window's collection session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,29 +24,53 @@ pub enum SessionStatus {
 }
 
 /// A collection session for one (switch, sub-window) pair.
+///
+/// The session's lifecycle is a [`WindowFsm`] entered at
+/// [`WindowPhase::Collected`] (the first thing the controller learns
+/// about a window is its announced batch size); [`SessionStatus`] is a
+/// projection of the FSM phase rather than an independently re-derived
+/// state, so the controller cannot drift from the switch's view of the
+/// same window.
 #[derive(Debug, Clone)]
 pub struct CollectionSession {
     subwindow: u32,
     announced: u32,
     received: HashMap<u32, FlowRecord>,
-    retransmissions: u32,
+    fsm: WindowFsm,
 }
 
 impl CollectionSession {
     /// Open a session after the trigger packet announced `announced`
     /// tracked flowkeys for `subwindow`.
     pub fn new(subwindow: u32, announced: u32) -> CollectionSession {
+        let mut fsm = WindowFsm::announced(subwindow, announced);
+        if announced == 0 {
+            // Nothing to wait for: the empty batch is complete on arrival.
+            fsm.apply(WindowEvent::StreamComplete)
+                .expect("empty session completes immediately");
+        }
         CollectionSession {
             subwindow,
             announced,
             received: HashMap::with_capacity(announced as usize),
-            retransmissions: 0,
+            fsm,
         }
     }
 
     /// The sub-window being collected.
     pub fn subwindow(&self) -> u32 {
         self.subwindow
+    }
+
+    /// The session's lifecycle FSM (the controller-side half of the
+    /// window lifecycle).
+    pub fn fsm(&self) -> &WindowFsm {
+        &self.fsm
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> WindowPhase {
+        self.fsm.phase()
     }
 
     /// Ingest one AFR report. Duplicates (retransmissions that crossed
@@ -59,6 +84,11 @@ impl CollectionSession {
             )));
         }
         self.received.entry(rec.seq).or_insert(rec);
+        if self.received.len() as u32 >= self.announced && self.fsm.phase() != WindowPhase::Merged {
+            self.fsm
+                .apply(WindowEvent::StreamComplete)
+                .expect("a full session merges");
+        }
         Ok(())
     }
 
@@ -72,31 +102,52 @@ impl CollectionSession {
         self.received.len()
     }
 
-    /// Session status given everything received so far.
+    /// Session status — a projection of the lifecycle phase.
     pub fn status(&self) -> SessionStatus {
-        if self.received.len() as u32 >= self.announced {
-            SessionStatus::Complete
-        } else {
-            SessionStatus::Collecting
+        match self.fsm.phase() {
+            WindowPhase::Merged => SessionStatus::Complete,
+            WindowPhase::Retransmitting | WindowPhase::Escalated => SessionStatus::MissingAfrs,
+            _ => SessionStatus::Collecting,
         }
     }
 
     /// The missing sequence ids (the retransmission request payload).
-    /// Calling this marks the generation phase as over: an empty result
-    /// means the session is complete.
+    /// Calling this marks the generation phase as over: a non-empty
+    /// result advances the FSM into its §8 retransmission side-loop; an
+    /// empty result means the session is complete.
     pub fn missing(&mut self) -> Vec<u32> {
         let miss: Vec<u32> = (0..self.announced)
             .filter(|seq| !self.received.contains_key(seq))
             .collect();
-        if !miss.is_empty() {
-            self.retransmissions += 1;
+        if !miss.is_empty()
+            && matches!(
+                self.fsm.phase(),
+                WindowPhase::Collected | WindowPhase::Retransmitting
+            )
+        {
+            self.fsm
+                .apply(WindowEvent::RetransmitRound)
+                .expect("phase checked above");
         }
         miss
     }
 
+    /// Mark the §8 OS-read escalation: retransmission is abandoned and
+    /// the reliable switch-OS readback will produce the batch.
+    pub fn escalate(&mut self) {
+        if matches!(
+            self.fsm.phase(),
+            WindowPhase::Collected | WindowPhase::Retransmitting
+        ) {
+            self.fsm
+                .apply(WindowEvent::EscalateOsRead)
+                .expect("phase checked above");
+        }
+    }
+
     /// How many retransmission rounds this session needed.
     pub fn retransmissions(&self) -> u32 {
-        self.retransmissions
+        self.fsm.retransmit_rounds()
     }
 
     /// Finish the session, yielding the complete AFR batch sorted by
@@ -179,5 +230,32 @@ mod tests {
     fn incomplete_batch_panics() {
         let s = CollectionSession::new(0, 3);
         let _ = s.into_batch();
+    }
+
+    #[test]
+    fn status_is_a_projection_of_the_lifecycle_fsm() {
+        let mut s = CollectionSession::new(2, 3);
+        assert_eq!(s.phase(), WindowPhase::Collected);
+        assert_eq!(s.status(), SessionStatus::Collecting);
+        s.receive(rec(0, 2)).unwrap();
+        assert_eq!(s.missing(), vec![1, 2]);
+        assert_eq!(s.phase(), WindowPhase::Retransmitting);
+        assert_eq!(s.status(), SessionStatus::MissingAfrs);
+        s.escalate();
+        assert_eq!(s.phase(), WindowPhase::Escalated);
+        assert!(s.fsm().was_escalated());
+        s.receive(rec(1, 2)).unwrap();
+        s.receive(rec(2, 2)).unwrap();
+        assert_eq!(s.phase(), WindowPhase::Merged);
+        assert_eq!(s.status(), SessionStatus::Complete);
+        assert_eq!(s.retransmissions(), 1);
+    }
+
+    #[test]
+    fn empty_announcement_merges_on_open() {
+        let s = CollectionSession::new(9, 0);
+        assert_eq!(s.phase(), WindowPhase::Merged);
+        assert_eq!(s.status(), SessionStatus::Complete);
+        assert!(s.into_batch().is_empty());
     }
 }

@@ -10,6 +10,9 @@
 //! * [`table`] — the key-value merge table with the four merge
 //!   strategies (frequency / existence / max-min / distinction) and
 //!   incremental sliding-window eviction,
+//! * [`shard`] — the same table split into `N` disjoint key slices by
+//!   flow-key hash, with a deterministic final fold that is
+//!   byte-identical to the single-shard baseline,
 //! * [`collector`] — the per-sub-window collection session, including
 //!   the sequence-id reliability check and retransmission requests (§8),
 //! * [`rdma`] — the simulated one-sided RDMA region: hot-key address
@@ -27,6 +30,7 @@ pub mod collector;
 pub mod live;
 pub mod rdma;
 pub mod reliability;
+pub mod shard;
 pub mod simd;
 pub mod table;
 pub mod timing;
@@ -36,6 +40,7 @@ pub use collector::{CollectionSession, SessionStatus};
 pub use live::{LiveController, LiveHandle, ReliableLiveController, ReliableMsg};
 pub use rdma::{RdmaRegion, RdmaWriteKind};
 pub use reliability::{AfrTransport, FnTransport, ReliabilityDriver, RetryPolicy, SessionOutcome};
+pub use shard::ShardedMergeTable;
 pub use table::MergeTable;
 pub use timing::{InstrumentedController, OpBreakdown};
-pub use wire::{decode_batch, encode_batch};
+pub use wire::{decode_batch, decode_merged, encode_batch, encode_merged};

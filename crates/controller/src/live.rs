@@ -1,28 +1,237 @@
-//! A live, threaded switch→controller deployment.
+//! A live, threaded switch→controller deployment with a sharded merge
+//! path.
 //!
 //! The simulation experiments run single-threaded on virtual time, but a
 //! real deployment has the data plane and the controller on different
 //! processors connected by a message stream. This module provides that
-//! runtime shape: a bounded crossbeam channel carries per-sub-window AFR
-//! batches from the (switch-side) producer thread to a controller thread
-//! that folds them into a shared, lock-protected merge table; queries
-//! read the table concurrently through the [`LiveHandle`].
+//! runtime shape, in two tiers:
+//!
+//! * A **router thread** receives per-sub-window AFR batches over a
+//!   bounded crossbeam channel, drives each window's lifecycle through
+//!   the shared [`WindowEngine`] (announced → merged → released on
+//!   slide-eviction), and fans the records out by flow-key hash.
+//! * **`N` shard workers** (one thread per shard, `N` from the
+//!   `OW_SHARDS` environment variable, default 1) each own a disjoint
+//!   key slice in their own lock-protected [`MergeTable`]. Every worker
+//!   receives every sub-window — empty where it owns no keys — so
+//!   sliding-window evictions stay synchronized across shards.
+//!
+//! Queries read the shard tables concurrently through the
+//! [`LiveHandle`]; its [`LiveHandle::snapshot`] is the deterministic
+//! final fold (canonical key order), byte-identical under
+//! `wire::encode_merged` at any shard count.
+//!
+//! Back-pressure is explicit at both boundaries: `sender.send` blocks
+//! when the router queue is full (as a NIC queue would), and the
+//! non-blocking [`LiveController::offer`] /
+//! [`ReliableLiveController::offer`] instead reject and count the drop —
+//! there is no silent loss path.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
-use std::sync::Arc;
 
-use ow_common::afr::FlowRecord;
+use ow_common::afr::{AttrValue, FlowRecord};
+use ow_common::engine::{WindowEngine, WindowEvent, WindowFsm, WindowPhase};
 use ow_common::flowkey::FlowKey;
+use ow_common::hash::ShardPartition;
 use ow_common::metrics::ReliabilityMetrics;
 use ow_common::time::Duration;
 
 use crate::collector::CollectionSession;
 use crate::reliability::{FnTransport, ReliabilityDriver, RetryPolicy};
 use crate::table::MergeTable;
+
+/// Parse a shard-count override (the `OW_SHARDS` value). Unset or
+/// unparsable means 1; zero clamps to 1 (a partition needs a shard).
+fn parse_shards(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
+/// The shard count configured for this process via `OW_SHARDS`.
+///
+/// This is what [`LiveController::spawn`] and
+/// [`ReliableLiveController::spawn`] use, so the CI matrix can exercise
+/// the whole test suite at several shard counts without touching call
+/// sites.
+pub fn shards_from_env() -> usize {
+    parse_shards(std::env::var("OW_SHARDS").ok().as_deref())
+}
+
+/// A message from the router to one shard worker.
+enum ShardMsg {
+    /// This shard's slice of one sub-window's batch (possibly empty —
+    /// every shard sees every sub-window so evictions stay aligned).
+    Insert {
+        subwindow: u32,
+        afrs: Vec<FlowRecord>,
+    },
+    /// Sliding-window advance: retire the oldest sub-window.
+    Evict,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// The shard worker pool: `N` threads, each folding its disjoint key
+/// slice into its own merge table.
+struct ShardPool {
+    tables: Vec<Arc<RwLock<MergeTable>>>,
+    senders: Vec<Sender<ShardMsg>>,
+    workers: Vec<JoinHandle<u64>>,
+    partition: ShardPartition,
+}
+
+impl ShardPool {
+    fn spawn(shards: usize, queue_depth: usize) -> ShardPool {
+        let partition = ShardPartition::new(shards);
+        let mut tables = Vec::with_capacity(shards);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let table = Arc::new(RwLock::new(MergeTable::new()));
+            let (tx, rx): (Sender<ShardMsg>, Receiver<ShardMsg>) = bounded(queue_depth.max(1));
+            let worker_table = table.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut inserts = 0u64;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ShardMsg::Insert { subwindow, afrs } => {
+                            worker_table.write().insert_batch(subwindow, afrs);
+                            inserts += 1;
+                        }
+                        ShardMsg::Evict => {
+                            worker_table.write().evict_oldest();
+                        }
+                        ShardMsg::Shutdown => break,
+                    }
+                }
+                inserts
+            }));
+            tables.push(table);
+            senders.push(tx);
+        }
+        ShardPool {
+            tables,
+            senders,
+            workers,
+            partition,
+        }
+    }
+
+    /// Fan one sub-window's batch out to every shard. Blocking sends: a
+    /// full worker queue back-pressures the router rather than dropping.
+    fn insert(&self, subwindow: u32, afrs: Vec<FlowRecord>) {
+        for (tx, slice) in self.senders.iter().zip(self.partition.split(&afrs)) {
+            let _ = tx.send(ShardMsg::Insert {
+                subwindow,
+                afrs: slice,
+            });
+        }
+    }
+
+    /// Retire the oldest sub-window on every shard.
+    fn evict(&self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Evict);
+        }
+    }
+
+    /// Stop the workers and wait for their queues to drain, so every
+    /// insert is visible once the router thread returns.
+    fn shutdown(self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        drop(self.senders);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Shared handle for querying the live sharded merge tables.
+///
+/// Each query takes the shard read locks one at a time, so a query
+/// concurrent with ingest sees an eventually-consistent view — exactly
+/// what a live telemetry dashboard reads. After `join()` the view is
+/// final.
+#[derive(Debug, Clone)]
+pub struct LiveHandle {
+    tables: Vec<Arc<RwLock<MergeTable>>>,
+    partition: ShardPartition,
+    window_subwindows: usize,
+    dropped: Arc<AtomicU64>,
+}
+
+impl LiveHandle {
+    /// Flows whose merged scalar is at least `threshold`, right now,
+    /// folded across shards in canonical key order.
+    pub fn flows_over(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        let mut out: Vec<(FlowKey, f64)> = self
+            .tables
+            .iter()
+            .flat_map(|t| t.read().flows_over(threshold))
+            .collect();
+        out.sort_by_key(|(k, _)| k.as_u128());
+        out
+    }
+
+    /// Number of flows currently merged (summed over shards — key
+    /// slices are disjoint, so this never double-counts).
+    pub fn merged_flows(&self) -> usize {
+        self.tables.iter().map(|t| t.read().len()).sum()
+    }
+
+    /// The merged statistic for one flow, served by its owning shard.
+    pub fn merged_value(&self, key: &FlowKey) -> Option<AttrValue> {
+        self.tables[self.partition.shard_of(key)]
+            .read()
+            .get(key)
+            .copied()
+    }
+
+    /// The sub-windows currently contributing to the table. Every shard
+    /// holds the same list (empty slices keep them aligned), so shard 0
+    /// answers.
+    pub fn subwindows(&self) -> Vec<u32> {
+        self.tables[0].read().subwindows()
+    }
+
+    /// The deterministic final fold: every shard's merged view in
+    /// canonical (ascending packed key) order. Encoding this with
+    /// `wire::encode_merged` yields bytes independent of the shard
+    /// count.
+    pub fn snapshot(&self) -> Vec<(FlowKey, AttrValue)> {
+        let mut out: Vec<(FlowKey, AttrValue)> = self
+            .tables
+            .iter()
+            .flat_map(|t| t.read().snapshot())
+            .collect();
+        out.sort_by_key(|(k, _)| k.as_u128());
+        out
+    }
+
+    /// Sub-windows per sliding window.
+    pub fn window_span(&self) -> usize {
+        self.window_subwindows
+    }
+
+    /// Number of merge shards behind this handle.
+    pub fn shard_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Messages rejected by the non-blocking `offer` path so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
 
 /// A message from the data plane to the controller.
 #[derive(Debug, Clone)]
@@ -38,38 +247,11 @@ pub enum DataPlaneMsg {
     Shutdown,
 }
 
-/// Shared handle for querying the live merge table.
-#[derive(Debug, Clone)]
-pub struct LiveHandle {
-    table: Arc<RwLock<MergeTable>>,
-    window_subwindows: usize,
-}
-
-impl LiveHandle {
-    /// Flows whose merged scalar is at least `threshold`, right now.
-    pub fn flows_over(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
-        self.table.read().flows_over(threshold)
-    }
-
-    /// Number of flows currently merged.
-    pub fn merged_flows(&self) -> usize {
-        self.table.read().len()
-    }
-
-    /// The sub-windows currently contributing to the table.
-    pub fn subwindows(&self) -> Vec<u32> {
-        self.table.read().subwindows()
-    }
-
-    /// Sub-windows per sliding window.
-    pub fn window_span(&self) -> usize {
-        self.window_subwindows
-    }
-}
-
-/// The running controller: its input channel, query handle, and thread.
+/// The running controller: its input channel, query handle, and router
+/// thread (which owns the shard worker pool).
 pub struct LiveController {
-    /// Send AFR batches (and finally `Shutdown`) here.
+    /// Send AFR batches (and finally `Shutdown`) here. `send` blocks
+    /// when the queue is full — back-pressure, not loss.
     pub sender: Sender<DataPlaneMsg>,
     /// Concurrent query access.
     pub handle: LiveHandle,
@@ -78,30 +260,55 @@ pub struct LiveController {
 
 impl LiveController {
     /// Spawn a controller maintaining a sliding window of
-    /// `window_subwindows` sub-windows. `queue_depth` bounds the channel
-    /// (back-pressure toward the data plane, as a NIC queue would).
+    /// `window_subwindows` sub-windows, sharded per `OW_SHARDS`.
+    /// `queue_depth` bounds every channel (back-pressure toward the
+    /// data plane, as a NIC queue would).
     pub fn spawn(window_subwindows: usize, queue_depth: usize) -> LiveController {
+        LiveController::spawn_sharded(window_subwindows, queue_depth, shards_from_env())
+    }
+
+    /// [`LiveController::spawn`] with an explicit shard count.
+    pub fn spawn_sharded(
+        window_subwindows: usize,
+        queue_depth: usize,
+        shards: usize,
+    ) -> LiveController {
         let (tx, rx): (Sender<DataPlaneMsg>, Receiver<DataPlaneMsg>) = bounded(queue_depth);
-        let table = Arc::new(RwLock::new(MergeTable::new()));
+        let pool = ShardPool::spawn(shards, queue_depth);
         let handle = LiveHandle {
-            table: table.clone(),
+            tables: pool.tables.clone(),
+            partition: pool.partition,
             window_subwindows,
+            dropped: Arc::new(AtomicU64::new(0)),
         };
         let thread = std::thread::spawn(move || {
+            let mut engine = WindowEngine::new();
+            let mut merged_order: VecDeque<u32> = VecDeque::new();
             let mut batches = 0u64;
             while let Ok(msg) = rx.recv() {
                 match msg {
                     DataPlaneMsg::AfrBatch { subwindow, afrs } => {
-                        let mut t = table.write();
-                        t.insert_batch(subwindow, afrs);
-                        while t.subwindows().len() > window_subwindows {
-                            t.evict_oldest();
+                        engine.insert(WindowFsm::announced(subwindow, afrs.len() as u32));
+                        pool.insert(subwindow, afrs);
+                        // The plain data-plane path has no loss to
+                        // repair: the batch is complete on arrival.
+                        if engine.phase(subwindow) == Some(WindowPhase::Collected) {
+                            let _ = engine.apply(subwindow, WindowEvent::StreamComplete);
+                        }
+                        merged_order.push_back(subwindow);
+                        while merged_order.len() > window_subwindows {
+                            let oldest = merged_order.pop_front().expect("non-empty");
+                            if engine.phase(oldest) == Some(WindowPhase::Merged) {
+                                let _ = engine.apply(oldest, WindowEvent::Acked);
+                            }
+                            pool.evict();
                         }
                         batches += 1;
                     }
                     DataPlaneMsg::Shutdown => break,
                 }
             }
+            pool.shutdown();
             batches
         });
         LiveController {
@@ -111,8 +318,22 @@ impl LiveController {
         }
     }
 
-    /// Signal shutdown and wait for the controller thread; returns the
-    /// number of batches it processed.
+    /// Non-blocking send: when the router queue is full (or the
+    /// controller is gone) the message is rejected, the drop is counted
+    /// on the handle, and `false` comes back — the caller decides
+    /// whether to retry, never silently losing the fact of the drop.
+    pub fn offer(&self, msg: DataPlaneMsg) -> bool {
+        match self.sender.try_send(msg) {
+            Ok(()) => true,
+            Err(_) => {
+                self.handle.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Signal shutdown and wait for the router and every shard worker;
+    /// returns the number of batches routed.
     pub fn join(self) -> u64 {
         let _ = self.sender.send(DataPlaneMsg::Shutdown);
         self.thread.join().expect("controller thread panicked")
@@ -160,9 +381,13 @@ pub type OsReadFn = Box<dyn FnMut(u32) -> (Vec<FlowRecord>, Duration) + Send>;
 /// count, and a [`ReliabilityDriver`] runs the §8 recovery loop
 /// (retransmission rounds, then OS-path escalation) through caller
 /// supplied callbacks before anything is merged. Only complete batches
-/// ever reach the table.
+/// ever reach the shard tables; each session's [`WindowFsm`] (already
+/// at `Merged` when it leaves the driver) is handed to the router's
+/// [`WindowEngine`], which releases it when the sliding window evicts
+/// the sub-window.
 pub struct ReliableLiveController {
     /// Send announcements, AFRs, end-of-stream marks, then `Shutdown`.
+    /// `send` blocks when the queue is full — back-pressure, not loss.
     pub sender: Sender<ReliableMsg>,
     /// Concurrent query access.
     pub handle: LiveHandle,
@@ -170,25 +395,49 @@ pub struct ReliableLiveController {
 }
 
 impl ReliableLiveController {
-    /// Spawn the controller thread. `retransmit` and `os_read` are the
-    /// back-channel to the switch (typically spliced through a lossy
-    /// channel in experiments).
+    /// Spawn the controller sharded per `OW_SHARDS`. `retransmit` and
+    /// `os_read` are the back-channel to the switch (typically spliced
+    /// through a lossy channel in experiments).
     pub fn spawn(
+        window_subwindows: usize,
+        queue_depth: usize,
+        policy: RetryPolicy,
+        retransmit: RetransmitFn,
+        os_read: OsReadFn,
+    ) -> ReliableLiveController {
+        ReliableLiveController::spawn_sharded(
+            window_subwindows,
+            queue_depth,
+            policy,
+            retransmit,
+            os_read,
+            shards_from_env(),
+        )
+    }
+
+    /// [`ReliableLiveController::spawn`] with an explicit shard count.
+    pub fn spawn_sharded(
         window_subwindows: usize,
         queue_depth: usize,
         policy: RetryPolicy,
         mut retransmit: RetransmitFn,
         mut os_read: OsReadFn,
+        shards: usize,
     ) -> ReliableLiveController {
         let (tx, rx): (Sender<ReliableMsg>, Receiver<ReliableMsg>) = bounded(queue_depth);
-        let table = Arc::new(RwLock::new(MergeTable::new()));
+        let pool = ShardPool::spawn(shards, queue_depth);
+        let dropped = Arc::new(AtomicU64::new(0));
         let handle = LiveHandle {
-            table: table.clone(),
+            tables: pool.tables.clone(),
+            partition: pool.partition,
             window_subwindows,
+            dropped: dropped.clone(),
         };
         let thread = std::thread::spawn(move || {
             let driver = ReliabilityDriver::new(policy);
             let mut total = ReliabilityMetrics::default();
+            let mut engine = WindowEngine::new();
+            let mut merged_order: VecDeque<u32> = VecDeque::new();
             // Open sessions and AFRs that raced ahead of their
             // announcement (reordering across the message stream).
             let mut sessions: HashMap<u32, (CollectionSession, ReliabilityMetrics)> =
@@ -208,7 +457,9 @@ impl ReliableLiveController {
 
             let mut finalize = |subwindow: u32,
                                 entry: (CollectionSession, ReliabilityMetrics),
-                                total: &mut ReliabilityMetrics| {
+                                total: &mut ReliabilityMetrics,
+                                engine: &mut WindowEngine,
+                                merged_order: &mut VecDeque<u32>| {
                 let (mut session, mut metrics) = entry;
                 driver.complete_session(
                     &mut session,
@@ -219,10 +470,17 @@ impl ReliableLiveController {
                     },
                 );
                 total.merge(&metrics);
-                let mut t = table.write();
-                t.insert_batch(subwindow, session.into_batch());
-                while t.subwindows().len() > window_subwindows {
-                    t.evict_oldest();
+                // The session's FSM arrives at Merged through the §8
+                // loop; the engine tracks it until slide-eviction.
+                engine.insert(*session.fsm());
+                pool.insert(subwindow, session.into_batch());
+                merged_order.push_back(subwindow);
+                while merged_order.len() > window_subwindows {
+                    let oldest = merged_order.pop_front().expect("non-empty");
+                    if engine.phase(oldest) == Some(WindowPhase::Merged) {
+                        let _ = engine.apply(oldest, WindowEvent::Acked);
+                    }
+                    pool.evict();
                 }
             };
 
@@ -249,7 +507,7 @@ impl ReliableLiveController {
                     },
                     ReliableMsg::EndOfStream { subwindow } => {
                         if let Some(entry) = sessions.remove(&subwindow) {
-                            finalize(subwindow, entry, &mut total);
+                            finalize(subwindow, entry, &mut total, &mut engine, &mut merged_order);
                         }
                     }
                     ReliableMsg::Shutdown => break,
@@ -261,8 +519,10 @@ impl ReliableLiveController {
                 sessions.drain().collect();
             rest.sort_by_key(|(sw, _)| *sw);
             for (sw, entry) in rest {
-                finalize(sw, entry, &mut total);
+                finalize(sw, entry, &mut total, &mut engine, &mut merged_order);
             }
+            pool.shutdown();
+            total.dropped += dropped.load(Ordering::Relaxed);
             total
         });
         ReliableLiveController {
@@ -272,8 +532,21 @@ impl ReliableLiveController {
         }
     }
 
-    /// Signal shutdown and wait for the controller thread; returns the
-    /// aggregated reliability counters across all sessions.
+    /// Non-blocking send; a rejected message is counted on the handle
+    /// (and folded into `join()`'s metrics) instead of lost silently.
+    pub fn offer(&self, msg: ReliableMsg) -> bool {
+        match self.sender.try_send(msg) {
+            Ok(()) => true,
+            Err(_) => {
+                self.handle.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Signal shutdown and wait for the router and every shard worker;
+    /// returns the aggregated reliability counters across all sessions,
+    /// including offer-path drops.
     pub fn join(self) -> ReliabilityMetrics {
         let _ = self.sender.send(ReliableMsg::Shutdown);
         self.thread.join().expect("controller thread panicked")
@@ -283,6 +556,7 @@ impl ReliableLiveController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::encode_merged;
 
     fn batch(sw: u32, flows: std::ops::Range<u32>, n: u64) -> DataPlaneMsg {
         DataPlaneMsg::AfrBatch {
@@ -331,6 +605,47 @@ mod tests {
     fn shutdown_without_traffic() {
         let ctl = LiveController::spawn(5, 4);
         assert_eq!(ctl.join(), 0);
+    }
+
+    #[test]
+    fn sharded_live_controller_is_byte_identical_to_single_shard() {
+        let run = |shards: usize| {
+            let ctl = LiveController::spawn_sharded(3, 16, shards);
+            for sw in 0..6u32 {
+                ctl.sender
+                    .send(batch(sw, 0..40, (sw as u64 + 1) * 7))
+                    .unwrap();
+            }
+            let handle = ctl.handle.clone();
+            assert_eq!(ctl.join(), 6);
+            assert_eq!(handle.shard_count(), shards);
+            assert_eq!(handle.subwindows(), vec![3, 4, 5]);
+            handle
+        };
+        let baseline = run(1);
+        for shards in [2usize, 4, 8] {
+            let h = run(shards);
+            assert_eq!(
+                encode_merged(&h.snapshot()),
+                encode_merged(&baseline.snapshot()),
+                "{shards} shards diverged from the single-shard baseline"
+            );
+            assert_eq!(h.flows_over(0.0), baseline.flows_over(0.0));
+            for i in 0..40u32 {
+                let k = FlowKey::src_ip(i);
+                assert_eq!(h.merged_value(&k), baseline.merged_value(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn ow_shards_parsing_defaults_and_clamps() {
+        assert_eq!(parse_shards(None), 1);
+        assert_eq!(parse_shards(Some("")), 1);
+        assert_eq!(parse_shards(Some("banana")), 1);
+        assert_eq!(parse_shards(Some("0")), 1);
+        assert_eq!(parse_shards(Some("1")), 1);
+        assert_eq!(parse_shards(Some(" 8 ")), 8);
     }
 
     fn seq_batch(sw: u32, n: u32) -> Vec<FlowRecord> {
@@ -394,6 +709,7 @@ mod tests {
         assert_eq!(metrics.recovered, 8);
         assert!(metrics.retransmit_rounds >= 2);
         assert_eq!(metrics.escalations, 0);
+        assert_eq!(metrics.dropped, 0);
     }
 
     #[test]
@@ -459,6 +775,109 @@ mod tests {
         assert_eq!(metrics.escalations, 1);
         assert_eq!(metrics.retransmit_rounds, 2);
         assert!(metrics.wall_clock >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn sharded_reliable_controller_matches_single_shard() {
+        let run = |shards: usize| {
+            let store: HashMap<u32, Vec<FlowRecord>> =
+                (0..4u32).map(|sw| (sw, seq_batch(sw, 25))).collect();
+            let retrans_store = store.clone();
+            let ctl = ReliableLiveController::spawn_sharded(
+                2,
+                64,
+                RetryPolicy::default(),
+                Box::new(move |sw, seqs| {
+                    let batch = &retrans_store[&sw];
+                    seqs.iter().map(|&s| batch[s as usize]).collect()
+                }),
+                Box::new(|_| panic!("no escalation expected")),
+                shards,
+            );
+            for sw in 0..4u32 {
+                ctl.sender
+                    .send(ReliableMsg::Announce {
+                        subwindow: sw,
+                        announced: 25,
+                    })
+                    .unwrap();
+                // A lossy initial stream: the §8 loop repairs it before
+                // anything reaches the shards.
+                for rec in store[&sw].iter().filter(|r| r.seq % 4 != 1) {
+                    ctl.sender.send(ReliableMsg::Afr(*rec)).unwrap();
+                }
+                ctl.sender
+                    .send(ReliableMsg::EndOfStream { subwindow: sw })
+                    .unwrap();
+            }
+            let handle = ctl.handle.clone();
+            let metrics = ctl.join();
+            (handle, metrics)
+        };
+        let (baseline, base_metrics) = run(1);
+        assert_eq!(baseline.subwindows(), vec![2, 3]);
+        for shards in [2usize, 4, 8] {
+            let (h, m) = run(shards);
+            assert_eq!(
+                encode_merged(&h.snapshot()),
+                encode_merged(&baseline.snapshot()),
+                "{shards} shards diverged from the single-shard baseline"
+            );
+            assert_eq!(h.flows_over(10.0), baseline.flows_over(10.0));
+            assert_eq!(m.recovered, base_metrics.recovered);
+            assert_eq!(m.first_pass, base_metrics.first_pass);
+        }
+    }
+
+    #[test]
+    fn offer_counts_drops_instead_of_blocking() {
+        // Wedge the router inside a retransmission round so its queue
+        // stays full, then offer past the bound: the overflow must be
+        // rejected and counted, never silently lost and never blocking.
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let store = seq_batch(0, 1);
+        let replay = store.clone();
+        let ctl = ReliableLiveController::spawn_sharded(
+            1,
+            2,
+            RetryPolicy::default(),
+            Box::new(move |_, seqs| {
+                entered_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+                seqs.iter().map(|&s| replay[s as usize]).collect()
+            }),
+            Box::new(|_| panic!("no escalation expected")),
+            1,
+        );
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: 0,
+                announced: 1,
+            })
+            .unwrap();
+        ctl.sender
+            .send(ReliableMsg::EndOfStream { subwindow: 0 })
+            .unwrap();
+        // The router is now inside the blocked retransmit callback and
+        // its input queue (depth 2) is empty: exactly two offers fit.
+        entered_rx.recv().unwrap();
+        assert!(ctl.offer(ReliableMsg::Afr(store[0])));
+        assert!(ctl.offer(ReliableMsg::Afr(store[0])));
+        assert!(
+            !ctl.offer(ReliableMsg::Afr(store[0])),
+            "third offer overflows"
+        );
+        assert_eq!(ctl.handle.dropped(), 1);
+        gate_tx.send(()).unwrap();
+        let handle = ctl.handle.clone();
+        let metrics = ctl.join();
+        assert_eq!(handle.merged_flows(), 1);
+        assert_eq!(metrics.recovered, 1);
+        assert_eq!(
+            metrics.dropped, 1,
+            "the drop is folded into join()'s metrics"
+        );
     }
 
     #[test]

@@ -198,6 +198,7 @@ impl ReliabilityDriver {
         if session.status() == SessionStatus::Complete {
             return false;
         }
+        session.escalate();
         let (batch, cost) = transport.os_read(session.subwindow());
         metrics.escalations += 1;
         metrics.wall_clock += cost;

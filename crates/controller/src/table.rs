@@ -148,6 +148,16 @@ impl MergeTable {
         self.merged.iter()
     }
 
+    /// The full merged view in canonical order (ascending packed key) —
+    /// the deterministic snapshot used to compare tables byte for byte
+    /// regardless of hash-map iteration order or shard layout.
+    pub fn snapshot(&self) -> Vec<(FlowKey, AttrValue)> {
+        let mut out: Vec<(FlowKey, AttrValue)> =
+            self.merged.iter().map(|(k, v)| (*k, *v)).collect();
+        out.sort_by_key(|(k, _)| k.as_u128());
+        out
+    }
+
     /// Threshold query (O4): flows whose merged scalar ≥ `threshold` —
     /// the heavy-hitter / anomaly reporting step.
     pub fn flows_over(&self, threshold: f64) -> Vec<(FlowKey, f64)> {

@@ -201,6 +201,44 @@ pub fn decode_batch(mut buf: impl Buf) -> Result<Vec<FlowRecord>, OwError> {
     Ok(out)
 }
 
+/// Encode a merged-table snapshot (`MergeTable::snapshot` /
+/// `ShardedMergeTable::snapshot` output): `count:u32` then `count`
+/// `(key, attr)` pairs in the order given.
+///
+/// Because snapshots are canonically ordered, this encoding is the
+/// byte-identity witness for the sharded merge path: two tables merged
+/// the same records iff their encoded snapshots are equal bytes.
+pub fn encode_merged(entries: &[(FlowKey, AttrValue)]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + entries.len() * 24);
+    b.put_u32(entries.len() as u32);
+    for (key, attr) in entries {
+        put_key(&mut b, key);
+        put_attr(&mut b, attr);
+    }
+    b.freeze()
+}
+
+/// Decode a merged-table snapshot produced by [`encode_merged`].
+pub fn decode_merged(mut buf: impl Buf) -> Result<Vec<(FlowKey, AttrValue)>, OwError> {
+    if buf.remaining() < 4 {
+        return Err(OwError::Decode("truncated snapshot header".into()));
+    }
+    let count = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let key = get_key(&mut buf)?;
+        let attr = get_attr(&mut buf)?;
+        out.push((key, attr));
+    }
+    if buf.has_remaining() {
+        return Err(OwError::Decode(format!(
+            "{} trailing bytes after snapshot",
+            buf.remaining()
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +314,16 @@ mod tests {
         let mut wire = encode_batch(&sample()).to_vec();
         wire.push(0);
         assert!(decode_batch(&wire[..]).is_err());
+    }
+
+    #[test]
+    fn merged_snapshot_roundtrips() {
+        let entries: Vec<(FlowKey, AttrValue)> = sample().iter().map(|r| (r.key, r.attr)).collect();
+        let wire = encode_merged(&entries);
+        assert_eq!(decode_merged(wire).unwrap(), entries);
+        assert_eq!(decode_merged(encode_merged(&[])).unwrap(), vec![]);
+        let cut = encode_merged(&entries);
+        assert!(decode_merged(&cut[..cut.len() - 2]).is_err());
     }
 
     #[test]

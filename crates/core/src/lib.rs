@@ -31,6 +31,9 @@
 //!   verifier: proves C1–C4 discipline, address-bounds safety, and
 //!   resource fit, and gates all switch construction
 //!   ([`verify::verified_switch`]),
+//! * [`engine`] (re-export of `ow_common::engine`) — the per-window
+//!   lifecycle state machine ([`engine::WindowFsm`]) that both the
+//!   switch and the controller drive, so neither side can drift,
 //! * [`evaluate`] — precision/recall/ARE scoring against the ideals,
 //! * [`experiments`] — one driver per paper experiment (Exp#1–Exp#10),
 //!   shared by the `ow-bench` binaries and the integration tests.
@@ -82,6 +85,10 @@ pub mod signal_windows;
 
 /// The static pipeline verifier (re-export of `ow-verify`).
 pub use ow_verify as verify;
+
+/// The per-window lifecycle state machine (re-export of
+/// `ow_common::engine`) driving both the switch and the controller.
+pub use ow_common::engine;
 
 pub use app::WindowApp;
 pub use config::WindowConfig;

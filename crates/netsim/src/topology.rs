@@ -8,7 +8,14 @@
 //! and pushed through `ow-verify`; a single unplaceable or
 //! C4-violating node rejects the whole topology with that node's
 //! diagnostic report.
+//!
+//! [`TopologyBuilder::build_live`] additionally attaches the sharded
+//! live controller to the verified path: the builder's
+//! [`TopologyBuilder::shards`] knob sets how many merge worker shards
+//! the controller spawns, so a topology experiment can dial collection
+//! throughput without touching any call site.
 
+use ow_controller::live::LiveController;
 use ow_switch::app::DataPlaneApp;
 use ow_switch::switch::{Switch, SwitchConfig};
 use ow_verify::{verified_switch, VerifyReport};
@@ -25,23 +32,49 @@ pub struct VerifiedPath<A> {
     pub sim: NetSim,
 }
 
+/// A [`VerifiedPath`] plus the live sharded controller collecting the
+/// last hop's AFR batches.
+pub struct LivePath<A> {
+    /// The verified switches and their simulator.
+    pub path: VerifiedPath<A>,
+    /// The running sharded merge controller.
+    pub controller: LiveController,
+}
+
 /// Builder for a linear path of verified OmniWindow switches.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TopologyBuilder {
     nodes: Vec<NodeConfig>,
     links: Vec<Link>,
     seed: u64,
+    shards: usize,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> TopologyBuilder {
+        TopologyBuilder::new(0)
+    }
 }
 
 impl TopologyBuilder {
     /// Start an empty topology; `seed` drives the simulator's loss and
-    /// jitter draws.
+    /// jitter draws. The controller shard count defaults to the
+    /// process-wide `OW_SHARDS` setting.
     pub fn new(seed: u64) -> TopologyBuilder {
         TopologyBuilder {
             nodes: Vec::new(),
             links: Vec::new(),
             seed,
+            shards: ow_controller::live::shards_from_env(),
         }
+    }
+
+    /// Set how many merge shards [`TopologyBuilder::build_live`]'s
+    /// controller spawns (≥ 1; the fold stays byte-identical at any
+    /// count).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Append a node (the first node becomes the stamping first hop).
@@ -89,6 +122,33 @@ impl TopologyBuilder {
             sim: NetSim::path(self.nodes, self.links, self.seed),
         })
     }
+
+    /// [`TopologyBuilder::build_verified`] plus a running sharded live
+    /// controller (sliding window of `window_subwindows` sub-windows,
+    /// `queue_depth`-bounded channels) wired for the path's AFR
+    /// batches. The shard count comes from [`TopologyBuilder::shards`].
+    ///
+    /// # Panics
+    /// Panics unless `links == nodes − 1` (a linear path), as
+    /// [`NetSim::path`] requires.
+    pub fn build_live<A, F>(
+        self,
+        cfg: &SwitchConfig,
+        app: F,
+        window_subwindows: usize,
+        queue_depth: usize,
+    ) -> Result<LivePath<A>, Box<VerifyReport>>
+    where
+        A: DataPlaneApp,
+        F: FnMut(usize, usize) -> A,
+    {
+        let shards = self.shards;
+        let path = self.build_verified(cfg, app)?;
+        Ok(LivePath {
+            path,
+            controller: LiveController::spawn_sharded(window_subwindows, queue_depth, shards),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +181,48 @@ mod tests {
             )
             .expect("both nodes verify");
         assert_eq!(path.switches.len(), 2);
+    }
+
+    #[test]
+    fn live_path_attaches_a_sharded_controller() {
+        use ow_common::afr::FlowRecord;
+        use ow_common::flowkey::FlowKey;
+        use ow_controller::live::DataPlaneMsg;
+
+        let live = TopologyBuilder::new(7)
+            .shards(4)
+            .node(NodeConfig::default())
+            .link(Link::default())
+            .node(NodeConfig::default())
+            .build_live(
+                &SwitchConfig {
+                    fk_capacity: 1024,
+                    expected_flows: 4096,
+                    ..SwitchConfig::default()
+                },
+                app,
+                3,
+                16,
+            )
+            .expect("both nodes verify");
+        assert_eq!(live.path.switches.len(), 2);
+        assert_eq!(live.controller.handle.shard_count(), 4);
+        assert_eq!(live.controller.handle.window_span(), 3);
+        for sw in 0..2u32 {
+            live.controller
+                .sender
+                .send(DataPlaneMsg::AfrBatch {
+                    subwindow: sw,
+                    afrs: (0..20)
+                        .map(|i| FlowRecord::frequency(FlowKey::src_ip(i), 5, sw))
+                        .collect(),
+                })
+                .unwrap();
+        }
+        let handle = live.controller.handle.clone();
+        assert_eq!(live.controller.join(), 2);
+        assert_eq!(handle.merged_flows(), 20);
+        assert_eq!(handle.subwindows(), vec![0, 1]);
     }
 
     #[test]

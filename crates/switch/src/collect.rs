@@ -245,14 +245,23 @@ impl RetransmitBuffer {
     }
 
     /// Park a freshly generated batch, evicting the oldest retained
-    /// sub-window if the buffer is over capacity.
-    pub fn retain(&mut self, subwindow: u32, afrs: &[FlowRecord]) {
+    /// sub-windows if the buffer is over capacity. Returns the evicted
+    /// sub-windows (oldest first) so the caller can retire their
+    /// lifecycle state; with `capacity == 0` (unbounded) the eviction
+    /// path provably never runs and the result is always empty.
+    pub fn retain(&mut self, subwindow: u32, afrs: &[FlowRecord]) -> Vec<u32> {
         self.batches.insert(subwindow, afrs.to_vec());
-        while self.capacity > 0 && self.batches.len() > self.capacity {
+        if self.capacity == 0 {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.batches.len() > self.capacity {
             let oldest = *self.batches.keys().next().expect("non-empty");
             self.batches.remove(&oldest);
             self.evicted += 1;
+            evicted.push(oldest);
         }
+        evicted
     }
 
     /// Replay the requested sequence ids of `subwindow`. Unknown ids and
@@ -533,12 +542,33 @@ mod tests {
     #[test]
     fn retransmit_buffer_evicts_oldest_beyond_capacity() {
         let mut buf = RetransmitBuffer::new(2);
+        let mut reported = Vec::new();
         for sw in 0..4u32 {
-            buf.retain(sw, &[afr(0, sw)]);
+            reported.extend(buf.retain(sw, &[afr(0, sw)]));
         }
         assert_eq!(buf.retained(), vec![2, 3]);
         assert_eq!(buf.evicted(), 2);
+        assert_eq!(reported, vec![0, 1], "evictions are reported oldest first");
         assert!(buf.full_batch(0).is_none());
+    }
+
+    #[test]
+    fn unbounded_buffer_never_evicts() {
+        // retransmit_depth: 0 is documented as "unbounded"; the eviction
+        // path must provably never fire in that mode, however many
+        // sub-windows pile up unacknowledged.
+        let mut buf = RetransmitBuffer::new(0);
+        for sw in 0..512u32 {
+            assert!(buf.retain(sw, &[afr(0, sw)]).is_empty());
+        }
+        assert_eq!(buf.evicted(), 0);
+        assert_eq!(buf.retained().len(), 512);
+        assert!(buf.full_batch(0).is_some(), "oldest batch still retained");
+        // Releases do not disturb the counter either.
+        for sw in 0..512u32 {
+            buf.release(sw);
+        }
+        assert_eq!(buf.evicted(), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The composed OmniWindow switch: signals + consistency + two-region
 //! state + flowkey tracking + collect-and-reset, around one application.
 
+use ow_common::engine::{WindowEngine, WindowEvent, WindowPhase};
 use ow_common::flowkey::FlowKey;
 use ow_common::packet::Packet;
 use ow_common::time::{Duration, Instant};
@@ -100,8 +101,10 @@ pub struct Switch<A> {
     consistency: ConsistencyModel,
     state: TwoRegionState<A>,
     cr: CrEngine,
-    /// A termination awaiting its delayed C&R: `(ended_subwindow, due)`.
-    pending: Option<(u32, Instant)>,
+    /// The per-window lifecycle FSMs — the single source of truth for
+    /// which window is open, awaiting its delayed C&R, collecting, or
+    /// parked for §8 retransmission.
+    engine: WindowEngine,
     /// Count of packets dropped into latency-spike handling.
     spikes: u64,
     /// Terminated AFR batches awaiting controller acknowledgement (§8).
@@ -124,14 +127,17 @@ impl<A: DataPlaneApp> Switch<A> {
     pub fn new_unchecked(cfg: SwitchConfig, region_a: A, region_b: A) -> Switch<A> {
         let tracker =
             |salt| FlowkeyTracker::new(cfg.fk_capacity, cfg.expected_flows, cfg.seed ^ salt);
+        let signals = SignalEngine::new(cfg.signal.clone());
+        let mut engine = WindowEngine::new();
+        engine.open(signals.current());
         Switch {
-            signals: SignalEngine::new(cfg.signal.clone()),
+            signals,
             consistency: ConsistencyModel::new(cfg.first_hop, cfg.preserve),
             state: TwoRegionState::new(region_a, region_b, tracker(0x0A), tracker(0x0B)),
             cr: CrEngine::new(cfg.latency),
             retransmit: RetransmitBuffer::new(cfg.retransmit_depth),
             cfg,
-            pending: None,
+            engine,
             spikes: 0,
         }
     }
@@ -151,18 +157,39 @@ impl<A: DataPlaneApp> Switch<A> {
         &self.state
     }
 
+    /// The window lifecycle engine — the authoritative per-window phase
+    /// of everything this switch has in flight.
+    pub fn engine(&self) -> &WindowEngine {
+        &self.engine
+    }
+
+    /// The lifecycle phase of `subwindow`, `None` once released (or
+    /// never seen).
+    pub fn window_phase(&self, subwindow: u32) -> Option<WindowPhase> {
+        self.engine.phase(subwindow)
+    }
+
     /// Serve a controller retransmission request: replay the requested
     /// sequence ids of a terminated-but-unacknowledged sub-window from
     /// the switch-CPU retransmit buffer. Sub-windows never collected, or
     /// already acknowledged/evicted, yield nothing — the controller's
     /// timeout drives the next step.
-    pub fn handle_retransmit_request(&self, subwindow: u32, seqs: &[u32]) -> Vec<FlowRecord> {
+    pub fn handle_retransmit_request(&mut self, subwindow: u32, seqs: &[u32]) -> Vec<FlowRecord> {
+        // A request for a window we still retain is one §8 round; a late
+        // request for a released window is a benign race, not drift.
+        if matches!(
+            self.engine.phase(subwindow),
+            Some(WindowPhase::Collected | WindowPhase::Retransmitting)
+        ) {
+            let _ = self.engine.apply(subwindow, WindowEvent::RetransmitRound);
+        }
         self.retransmit.retransmit(subwindow, seqs)
     }
 
     /// Controller acknowledgement that `subwindow`'s batch merged
     /// complete; the retained copy is freed.
     pub fn ack_collection(&mut self, subwindow: u32) {
+        self.retire_window(subwindow, false);
         self.retransmit.release(subwindow);
     }
 
@@ -177,8 +204,32 @@ impl<A: DataPlaneApp> Switch<A> {
             .cr
             .latency()
             .os_read(app.meta().register_arrays, app.states_per_array());
+        self.retire_window(subwindow, true);
         self.retransmit.release(subwindow);
         Some((batch, cost))
+    }
+
+    /// Drive a batch-holding window to `Released` (the controller got
+    /// everything it needs), optionally through the OS-read escalation.
+    fn retire_window(&mut self, subwindow: u32, escalated: bool) {
+        if escalated
+            && matches!(
+                self.engine.phase(subwindow),
+                Some(WindowPhase::Collected | WindowPhase::Retransmitting)
+            )
+        {
+            let _ = self.engine.apply(subwindow, WindowEvent::EscalateOsRead);
+        }
+        if self
+            .engine
+            .phase(subwindow)
+            .is_some_and(|p| p.has_batch() && p != WindowPhase::Merged)
+        {
+            let _ = self.engine.apply(subwindow, WindowEvent::StreamComplete);
+        }
+        if self.engine.phase(subwindow) == Some(WindowPhase::Merged) {
+            let _ = self.engine.apply(subwindow, WindowEvent::Acked);
+        }
     }
 
     /// The retransmit buffer (for inspection in tests).
@@ -188,23 +239,39 @@ impl<A: DataPlaneApp> Switch<A> {
 
     /// Run the due C&R if `now` has passed its start time.
     fn maybe_collect(&mut self, now: Instant, events: &mut Vec<SwitchEvent>) {
-        if let Some((ended, due)) = self.pending {
-            if now >= due {
-                self.run_collection(ended, due, events);
-            }
+        if let Some(ended) = self.engine.due_collection(now) {
+            let due = self
+                .engine
+                .get(ended)
+                .and_then(|f| f.cr_due())
+                .expect("due window has a cr_due");
+            self.run_collection(ended, due, events);
         }
     }
 
     fn run_collection(&mut self, ended: u32, started: Instant, events: &mut Vec<SwitchEvent>) {
+        self.engine
+            .apply(ended, WindowEvent::CollectStarted { at: started })
+            .expect("C&R must start from cr_wait");
         let cfg = self.cfg.collect;
         let (app, tracker) = self.state.inactive_mut();
         let outcome = self.cr.collect_and_reset(app, tracker, ended, cfg);
+        self.engine
+            .apply(
+                ended,
+                WindowEvent::BatchGenerated {
+                    announced: outcome.afrs.len() as u32,
+                },
+            )
+            .expect("batch generation follows collection");
         // The region is reset now; the generated batch is the only copy
         // left on the switch. Park it for §8 retransmission until the
-        // controller acknowledges completeness.
-        self.retransmit.retain(ended, &outcome.afrs);
+        // controller acknowledges completeness; windows the bounded
+        // buffer pushed out can no longer be repaired and are released.
+        for evicted in self.retransmit.retain(ended, &outcome.afrs) {
+            let _ = self.engine.apply(evicted, WindowEvent::Evicted);
+        }
         self.state.complete_cr();
-        self.pending = None;
         events.push(SwitchEvent::AfrBatch {
             subwindow: ended,
             started,
@@ -215,18 +282,24 @@ impl<A: DataPlaneApp> Switch<A> {
     /// Force any outstanding collection to run now (end of trace).
     pub fn flush(&mut self) -> Vec<SwitchEvent> {
         let mut events = Vec::new();
-        if let Some((ended, due)) = self.pending {
+        if let Some((ended, due)) = self.engine.pending_cr() {
             self.run_collection(ended, due, &mut events);
         }
-        // Collect the still-active sub-window too.
+        // Collect the still-active sub-window too: terminate it at the
+        // end of virtual time and run its C&R immediately.
         let active_sw = self.state.active_subwindow();
         let next = active_sw + 1;
-        self.state.rotate(
-            next,
-            Instant::from_nanos(u64::MAX),
-            Instant::from_nanos(u64::MAX),
-        );
-        self.run_collection(active_sw, Instant::from_nanos(u64::MAX), &mut events);
+        let end_of_time = Instant::from_nanos(u64::MAX);
+        self.engine.open(active_sw);
+        self.engine
+            .apply(active_sw, WindowEvent::SignalFired { at: end_of_time })
+            .expect("active window terminates at flush");
+        self.engine
+            .apply(active_sw, WindowEvent::CrScheduled { due: end_of_time })
+            .expect("flush schedules the final C&R");
+        self.state.rotate(next, end_of_time, end_of_time);
+        self.engine.open(next);
+        self.run_collection(active_sw, end_of_time, &mut events);
         events
     }
 
@@ -286,9 +359,13 @@ impl<A: DataPlaneApp> Switch<A> {
     ) {
         // If the previous C&R is still pending, run it first (its due time
         // has certainly passed within one sub-window).
-        if let Some((prev_ended, due)) = self.pending {
+        if let Some((prev_ended, due)) = self.engine.pending_cr() {
             self.run_collection(prev_ended, due.min(now), events);
         }
+        self.engine.open(ended);
+        self.engine
+            .apply(ended, WindowEvent::SignalFired { at: now })
+            .expect("termination signal fires on an open window");
         let tracked = {
             let (_, tracker) = self.state.active_mut();
             tracker.total_tracked() as u32
@@ -299,10 +376,13 @@ impl<A: DataPlaneApp> Switch<A> {
             tracked_keys: tracked,
         });
         let due = now + self.cfg.cr_wait;
+        self.engine
+            .apply(ended, WindowEvent::CrScheduled { due })
+            .expect("cr_wait schedules after termination");
         // Estimated C&R completion for overrun accounting.
         let est = self.estimate_cr_finish(due);
         self.state.rotate(next, now, est);
-        self.pending = Some((ended, due));
+        self.engine.open(next);
     }
 
     fn estimate_cr_finish(&mut self, start: Instant) -> Instant {
@@ -528,6 +608,54 @@ mod tests {
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].0, 0);
         assert_eq!(batches[1].0, 1);
+    }
+
+    #[test]
+    fn window_engine_tracks_the_full_lifecycle() {
+        use ow_common::engine::WindowPhase;
+        let mut sw = mk_switch(true);
+        assert_eq!(sw.window_phase(0), Some(WindowPhase::Open));
+        sw.process(pkt(1, 10));
+        sw.process(pkt(2, 105)); // terminate sw0, schedule its C&R
+        assert_eq!(sw.window_phase(0), Some(WindowPhase::CrWait));
+        assert_eq!(sw.window_phase(1), Some(WindowPhase::Open));
+        sw.process(pkt(2, 110)); // cr_wait elapsed → collected
+        assert_eq!(sw.window_phase(0), Some(WindowPhase::Collected));
+        // One §8 retransmit round, then the controller confirms.
+        sw.handle_retransmit_request(0, &[0]);
+        assert_eq!(sw.window_phase(0), Some(WindowPhase::Retransmitting));
+        assert_eq!(sw.engine().get(0).unwrap().retransmit_rounds(), 1);
+        sw.ack_collection(0);
+        assert_eq!(sw.window_phase(0), None, "released windows are pruned");
+        assert_eq!(sw.engine().released(), 1);
+        assert_eq!(sw.engine().rejected(), 0, "no drift on the happy path");
+    }
+
+    #[test]
+    fn bounded_buffer_eviction_releases_window_state() {
+        let app = |s| FrequencyApp::new(CountMin::new(2, 1024, s), KeyKind::SrcIp, false);
+        let mut sw = Switch::new_unchecked(
+            SwitchConfig {
+                fk_capacity: 1024,
+                expected_flows: 4096,
+                retransmit_depth: 1,
+                ..SwitchConfig::default()
+            },
+            app(1),
+            app(2),
+        );
+        for w in 0..3u64 {
+            sw.process(pkt(w as u32 + 1, w * 100 + 10));
+        }
+        sw.process(pkt(9, 310));
+        sw.flush();
+        // Depth 1: every batch but the newest was evicted unrepairable;
+        // the engine released those windows (was_evicted), never acked.
+        assert_eq!(sw.retransmit_buffer().retained().len(), 1);
+        assert!(sw.retransmit_buffer().evicted() > 0);
+        let evicted = sw.retransmit_buffer().evicted();
+        assert_eq!(sw.engine().released(), evicted);
+        assert_eq!(sw.engine().rejected(), 0);
     }
 
     #[test]

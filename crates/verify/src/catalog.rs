@@ -61,6 +61,19 @@ pub fn repo_programs() -> Vec<(String, PipelineProgram)> {
         ));
     }
 
+    // Sharded live-controller deployments (`OW_SHARDS` / bench_cr).
+    // The shard count lives on the controller, so the pipeline program
+    // itself is unchanged — but each shard count scales the flow
+    // population the deployment is expected to serve, and that *does*
+    // have to fit the switch: these rows prove the data plane keeps up
+    // with every merge tier the controller can run at.
+    for shards in [1usize, 2, 4, 8] {
+        rows.push((
+            format!("live-sharded-{shards}"),
+            countmin_program(4096, shards * 16 * 1024, 8192),
+        ));
+    }
+
     // Deployed configurations: examples, integration tests, bench.
     rows.push((
         "example-switch-protocol".into(),

@@ -58,6 +58,40 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Why a non-blocking send could not buffer the message; carries it
+    /// back to the caller either way.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The buffer is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the unsent message.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+            }
+        }
+
+        /// Whether the failure was a full buffer (backpressure) rather
+        /// than a vanished receiver.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// A bounded channel holding at most `cap` in-flight messages
     /// (`cap == 0` is a rendezvous channel).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
@@ -69,6 +103,15 @@ pub mod channel {
         /// Block until the message is buffered or the receiver is gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+
+        /// Non-blocking send: fails immediately with the message when
+        /// the buffer is full or the receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
         }
     }
 
@@ -121,6 +164,22 @@ mod tests {
         let got: Vec<u32> = rx.iter().collect();
         producer.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded(1);
+        tx.try_send(1u32).unwrap();
+        let err = tx.try_send(2u32).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(3u32),
+            Err(TrySendError::Disconnected(3))
+        ));
     }
 
     #[test]

@@ -222,7 +222,7 @@ fn switch_with_one_batch() -> (Switch<App>, u32, Vec<FlowRecord>) {
 #[test]
 fn lost_retransmission_request_is_retried() {
     struct FlakyRequestPath<'a> {
-        switch: &'a Switch<App>,
+        switch: &'a mut Switch<App>,
         initial: Vec<FlowRecord>,
         swallowed: u32,
         requests_seen: u32,
@@ -243,11 +243,11 @@ fn lost_retransmission_request_is_retried() {
         }
     }
 
-    let (sw, subwindow, afrs) = switch_with_one_batch();
+    let (mut sw, subwindow, afrs) = switch_with_one_batch();
     // Half the initial stream is lost.
     let initial: Vec<FlowRecord> = afrs.iter().filter(|r| r.seq % 2 == 0).copied().collect();
     let mut transport = FlakyRequestPath {
-        switch: &sw,
+        switch: &mut sw,
         initial,
         swallowed: 1,
         requests_seen: 0,
