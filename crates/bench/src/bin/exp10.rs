@@ -5,7 +5,10 @@ use ow_bench::{pct, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("running Exp#10 (window sizes) at {:?} scale…", cli.scale);
+    cli.progress(format!(
+        "running Exp#10 (window sizes) at {:?} scale…",
+        cli.scale
+    ));
     let sizes = [500u64, 1_000, 1_500, 2_000];
     let result = exp10_window_sizes::run(cli.scale, &sizes, 40, cli.seed);
 

@@ -5,7 +5,7 @@ use ow_bench::Cli;
 
 fn main() {
     let cli = Cli::parse();
-    eprintln!("running Exp#6 (AFR generation & collection)…");
+    cli.progress("running Exp#6 (AFR generation & collection)…");
     let result = exp6_collection::run(cli.seed);
 
     println!("Exp#6: AFR generation & collection time (Figure 11)");

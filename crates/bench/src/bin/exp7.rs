@@ -10,7 +10,9 @@ fn main() {
         Scale::Tiny | Scale::Small => 100_000,
         Scale::Paper => 1_000_000,
     };
-    eprintln!("running Exp#7 (AFR aggregation) over {flows} flows…");
+    cli.progress(format!(
+        "running Exp#7 (AFR aggregation) over {flows} flows…"
+    ));
     let result = exp7_aggregation::run(flows);
 
     println!("Exp#7: AFR aggregation time (Figure 12), {flows} flows\n");

@@ -15,12 +15,12 @@ fn main() {
         cfg.flows = 150;
         cfg.pkts_per_flow = 30;
     }
-    eprintln!(
+    cli.progress(format!(
         "running Exp#9 (consistency): {} flows × {} packets, loss {:.1}%…",
         cfg.flows,
         cfg.pkts_per_flow,
         cfg.loss_prob * 100.0
-    );
+    ));
     let result = exp9_consistency::run(&cfg);
 
     println!("Exp#9: loss-detection precision vs clock deviation (Figure 14)\n");

@@ -1,0 +1,72 @@
+//! Observability smoke run: a short instrumented lossy C&R pipeline
+//! (verified switch → lossy channel → sharded reliable controller, one
+//! shared `ow-obs` registry throughout), whose snapshot lands in
+//! `results/obs_smoke.json` (override with `--json <path>`).
+//!
+//! The binary self-checks the Prometheus exposition line format and
+//! exits nonzero if it is malformed, so CI can gate on it.
+
+use std::path::Path;
+
+use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
+use ow_bench::Cli;
+use ow_obs::{check_exposition, prometheus_text, Event};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = ObsSmokeConfig {
+        seed: cli.seed,
+        ..ObsSmokeConfig::default()
+    };
+    cli.progress(format!(
+        "running obs smoke: {} shards, {:.0}% AFR loss, seed {}…",
+        cfg.shards,
+        cfg.loss * 100.0,
+        cfg.seed
+    ));
+    let out = obs_smoke::run(&cfg);
+
+    let snapshot = out.obs.snapshot();
+    let exposition = prometheus_text(&snapshot);
+    if let Err((line, msg)) = check_exposition(&exposition) {
+        cli.obs.event(
+            Event::new(
+                "exposition_error",
+                format!("exposition line {line} is malformed: {msg}"),
+            )
+            .warn(),
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "obs smoke: {} metric series, exposition OK",
+        snapshot.metrics.len()
+    );
+    println!(
+        "  sessions: {} merged flows, {} first pass, {} recovered, \
+         {} retransmit round(s), {} escalation(s)",
+        out.merged_flows,
+        out.metrics.first_pass,
+        out.metrics.recovered,
+        out.metrics.retransmit_rounds,
+        out.metrics.escalations,
+    );
+    println!(
+        "  registry mirror: retransmit_rounds={} escalations={}",
+        snapshot.value("ow_controller_retransmit_rounds", &[]),
+        snapshot.value("ow_controller_escalations_total", &[]),
+    );
+
+    let path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "results/obs_smoke.json".to_string());
+    let report = out.obs.report("obs_smoke");
+    if let Err(e) = report.write(Path::new(&path)) {
+        cli.obs
+            .event(Event::new("dump_error", format!("failed to write {path}: {e}")).warn());
+        std::process::exit(1);
+    }
+    cli.progress(format!("snapshot written to {path}"));
+}

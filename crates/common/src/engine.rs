@@ -32,6 +32,7 @@
 //! counts rejected transitions as a drift detector.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::time::Instant;
 
@@ -328,6 +329,40 @@ impl WindowFsm {
     }
 }
 
+/// A record of one attempted [`WindowEngine`] transition, delivered to
+/// an attached [`TransitionSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The sub-window the event targeted.
+    pub subwindow: u32,
+    /// The event's stable name ([`WindowEvent::name`]).
+    pub event: &'static str,
+    /// The phase the FSM was in (for an unknown window, the synthetic
+    /// [`WindowPhase::Released`], matching [`FsmError`]).
+    pub from: WindowPhase,
+    /// The phase entered, or `None` when the transition was rejected
+    /// (counted into [`WindowEngine::rejected`]).
+    pub to: Option<WindowPhase>,
+}
+
+impl Transition {
+    /// Whether the engine rejected this transition (lifecycle drift).
+    pub fn rejected(&self) -> bool {
+        self.to.is_none()
+    }
+}
+
+/// Observer of [`WindowEngine`] transitions.
+///
+/// The observability layer (`ow-obs`) implements this to mirror every
+/// lifecycle step into its metrics registry and event journal without
+/// `ow-common` depending on it. Sinks must be cheap: they run inline on
+/// the engine's apply path.
+pub trait TransitionSink: Send + Sync {
+    /// Called after every [`WindowEngine::apply`], accepted or rejected.
+    fn on_transition(&self, transition: &Transition);
+}
+
 /// The set of live window FSMs on one side of a deployment.
 ///
 /// Keyed by sub-window, with scheduling queries for the switch driver
@@ -335,17 +370,42 @@ impl WindowFsm {
 /// for both sides. Released windows are pruned eagerly so the engine
 /// stays bounded by the number of *in-flight* windows, not the trace
 /// length.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct WindowEngine {
     windows: BTreeMap<u32, WindowFsm>,
     released: u64,
     rejected: u64,
+    sink: Option<Arc<dyn TransitionSink>>,
+}
+
+impl core::fmt::Debug for WindowEngine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WindowEngine")
+            .field("windows", &self.windows)
+            .field("released", &self.released)
+            .field("rejected", &self.rejected)
+            .field("sink", &self.sink.as_ref().map(|_| "attached"))
+            .finish()
+    }
 }
 
 impl WindowEngine {
     /// An empty engine.
     pub fn new() -> WindowEngine {
         WindowEngine::default()
+    }
+
+    /// Attach a transition observer. Every subsequent
+    /// [`WindowEngine::apply`] — accepted or rejected — is mirrored to
+    /// the sink. Clones of the engine share the attached sink.
+    pub fn set_sink(&mut self, sink: Arc<dyn TransitionSink>) {
+        self.sink = Some(sink);
+    }
+
+    fn notify(&self, transition: Transition) {
+        if let Some(sink) = &self.sink {
+            sink.on_transition(&transition);
+        }
     }
 
     /// Number of windows currently tracked (not yet released).
@@ -390,13 +450,20 @@ impl WindowEngine {
     pub fn apply(&mut self, subwindow: u32, event: WindowEvent) -> Result<WindowPhase, FsmError> {
         let Some(fsm) = self.windows.get_mut(&subwindow) else {
             self.rejected += 1;
+            self.notify(Transition {
+                subwindow,
+                event: event.name(),
+                from: WindowPhase::Released,
+                to: None,
+            });
             return Err(FsmError {
                 subwindow,
                 phase: WindowPhase::Released,
                 event: event.name(),
             });
         };
-        match fsm.apply(event) {
+        let from = fsm.phase();
+        let result = match fsm.apply(event) {
             Ok(WindowPhase::Released) => {
                 self.windows.remove(&subwindow);
                 self.released += 1;
@@ -407,7 +474,14 @@ impl WindowEngine {
                 self.rejected += 1;
                 Err(e)
             }
-        }
+        };
+        self.notify(Transition {
+            subwindow,
+            event: event.name(),
+            from,
+            to: result.ok(),
+        });
+        result
     }
 
     /// The single window currently between termination and batch
@@ -586,6 +660,39 @@ mod tests {
         engine.insert(WindowFsm::announced(4, 10));
         assert_eq!(engine.phase(4), Some(WindowPhase::Retransmitting));
         assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn sink_observes_accepted_and_rejected_transitions() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Rec(Mutex<Vec<Transition>>);
+        impl TransitionSink for Rec {
+            fn on_transition(&self, t: &Transition) {
+                self.0.lock().unwrap().push(*t);
+            }
+        }
+
+        let rec = Arc::new(Rec::default());
+        let mut engine = WindowEngine::new();
+        engine.set_sink(rec.clone());
+        engine.insert(WindowFsm::announced(2, 1));
+        engine.apply(2, WindowEvent::StreamComplete).unwrap();
+        assert!(engine.apply(9, WindowEvent::Acked).is_err());
+        let ts = rec.0.lock().unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(
+            ts[0],
+            Transition {
+                subwindow: 2,
+                event: "stream_complete",
+                from: WindowPhase::Collected,
+                to: Some(WindowPhase::Merged),
+            }
+        );
+        assert!(ts[1].rejected());
+        assert_eq!(ts[1].from, WindowPhase::Released);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use ow_common::flowkey::FlowKey;
 use ow_common::hash::ShardPartition;
 use ow_common::metrics::ReliabilityMetrics;
 use ow_common::time::Duration;
+use ow_obs::{Counter, Event, Gauge, Obs};
 
 use crate::collector::CollectionSession;
 use crate::reliability::{FnTransport, ReliabilityDriver, RetryPolicy};
@@ -85,21 +86,41 @@ struct ShardPool {
     senders: Vec<Sender<ShardMsg>>,
     workers: Vec<JoinHandle<u64>>,
     partition: ShardPartition,
+    /// Per-shard queue-depth gauges
+    /// (`ow_controller_shard_queue_depth{shard=…}`): incremented by the
+    /// router on every send, decremented by the worker as it dequeues,
+    /// so the live value is the worker's backlog and the value after
+    /// `shutdown()` is deterministically zero.
+    depth_gauges: Option<Vec<Gauge>>,
 }
 
 impl ShardPool {
-    fn spawn(shards: usize, queue_depth: usize) -> ShardPool {
+    fn spawn(shards: usize, queue_depth: usize, obs: Option<&Obs>) -> ShardPool {
         let partition = ShardPartition::new(shards);
+        let depth_gauges = obs.map(|o| {
+            (0..shards)
+                .map(|i| {
+                    o.gauge(
+                        "ow_controller_shard_queue_depth",
+                        &[("shard", &i.to_string())],
+                    )
+                })
+                .collect::<Vec<Gauge>>()
+        });
         let mut tables = Vec::with_capacity(shards);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for shard in 0..shards {
             let table = Arc::new(RwLock::new(MergeTable::new()));
             let (tx, rx): (Sender<ShardMsg>, Receiver<ShardMsg>) = bounded(queue_depth.max(1));
             let worker_table = table.clone();
+            let depth = depth_gauges.as_ref().map(|g| g[shard].clone());
             workers.push(std::thread::spawn(move || {
                 let mut inserts = 0u64;
                 while let Ok(msg) = rx.recv() {
+                    if let Some(g) = &depth {
+                        g.dec();
+                    }
                     match msg {
                         ShardMsg::Insert { subwindow, afrs } => {
                             worker_table.write().insert_batch(subwindow, afrs);
@@ -121,13 +142,26 @@ impl ShardPool {
             senders,
             workers,
             partition,
+            depth_gauges,
+        }
+    }
+
+    fn mark_sent(&self, shard: usize) {
+        if let Some(gauges) = &self.depth_gauges {
+            gauges[shard].inc();
         }
     }
 
     /// Fan one sub-window's batch out to every shard. Blocking sends: a
     /// full worker queue back-pressures the router rather than dropping.
     fn insert(&self, subwindow: u32, afrs: Vec<FlowRecord>) {
-        for (tx, slice) in self.senders.iter().zip(self.partition.split(&afrs)) {
+        for (shard, (tx, slice)) in self
+            .senders
+            .iter()
+            .zip(self.partition.split(&afrs))
+            .enumerate()
+        {
+            self.mark_sent(shard);
             let _ = tx.send(ShardMsg::Insert {
                 subwindow,
                 afrs: slice,
@@ -137,7 +171,8 @@ impl ShardPool {
 
     /// Retire the oldest sub-window on every shard.
     fn evict(&self) {
-        for tx in &self.senders {
+        for (shard, tx) in self.senders.iter().enumerate() {
+            self.mark_sent(shard);
             let _ = tx.send(ShardMsg::Evict);
         }
     }
@@ -145,7 +180,8 @@ impl ShardPool {
     /// Stop the workers and wait for their queues to drain, so every
     /// insert is visible once the router thread returns.
     fn shutdown(self) {
-        for tx in &self.senders {
+        for (shard, tx) in self.senders.iter().enumerate() {
+            self.mark_sent(shard);
             let _ = tx.send(ShardMsg::Shutdown);
         }
         drop(self.senders);
@@ -167,6 +203,18 @@ pub struct LiveHandle {
     partition: ShardPartition,
     window_subwindows: usize,
     dropped: Arc<AtomicU64>,
+    drop_counter: Option<Counter>,
+}
+
+impl LiveHandle {
+    /// Count one rejected `offer` on both the handle and, when attached,
+    /// the registry (`ow_controller_backpressure_dropped_total`).
+    fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.drop_counter {
+            c.inc();
+        }
+    }
 }
 
 impl LiveHandle {
@@ -273,16 +321,38 @@ impl LiveController {
         queue_depth: usize,
         shards: usize,
     ) -> LiveController {
+        LiveController::spawn_sharded_obs(window_subwindows, queue_depth, shards, None)
+    }
+
+    /// [`LiveController::spawn_sharded`] with observability attached:
+    /// the router's [`WindowEngine`] reports every transition, each
+    /// shard worker exposes a queue-depth gauge, routed batches are
+    /// counted (`ow_controller_batches_total`), and rejected `offer`s
+    /// bump `ow_controller_backpressure_dropped_total`.
+    pub fn spawn_sharded_obs(
+        window_subwindows: usize,
+        queue_depth: usize,
+        shards: usize,
+        obs: Option<&Obs>,
+    ) -> LiveController {
         let (tx, rx): (Sender<DataPlaneMsg>, Receiver<DataPlaneMsg>) = bounded(queue_depth);
-        let pool = ShardPool::spawn(shards, queue_depth);
+        let pool = ShardPool::spawn(shards, queue_depth, obs);
         let handle = LiveHandle {
             tables: pool.tables.clone(),
             partition: pool.partition,
             window_subwindows,
             dropped: Arc::new(AtomicU64::new(0)),
+            drop_counter: obs.map(|o| o.counter("ow_controller_backpressure_dropped_total", &[])),
         };
+        let obs = obs.cloned();
         let thread = std::thread::spawn(move || {
+            let batch_counter = obs
+                .as_ref()
+                .map(|o| o.counter("ow_controller_batches_total", &[]));
             let mut engine = WindowEngine::new();
+            if let Some(o) = &obs {
+                engine.set_sink(o.engine_sink("controller"));
+            }
             let mut merged_order: VecDeque<u32> = VecDeque::new();
             let mut batches = 0u64;
             while let Ok(msg) = rx.recv() {
@@ -304,6 +374,9 @@ impl LiveController {
                             pool.evict();
                         }
                         batches += 1;
+                        if let Some(c) = &batch_counter {
+                            c.inc();
+                        }
                     }
                     DataPlaneMsg::Shutdown => break,
                 }
@@ -326,7 +399,7 @@ impl LiveController {
         match self.sender.try_send(msg) {
             Ok(()) => true,
             Err(_) => {
-                self.handle.dropped.fetch_add(1, Ordering::Relaxed);
+                self.handle.count_drop();
                 false
             }
         }
@@ -420,23 +493,62 @@ impl ReliableLiveController {
         window_subwindows: usize,
         queue_depth: usize,
         policy: RetryPolicy,
+        retransmit: RetransmitFn,
+        os_read: OsReadFn,
+        shards: usize,
+    ) -> ReliableLiveController {
+        ReliableLiveController::spawn_sharded_obs(
+            window_subwindows,
+            queue_depth,
+            policy,
+            retransmit,
+            os_read,
+            shards,
+            None,
+        )
+    }
+
+    /// [`ReliableLiveController::spawn_sharded`] with observability
+    /// attached: the router's [`WindowEngine`] reports every transition
+    /// (the first rejected one raises a structured `drift_detected`
+    /// warning), each shard worker exposes a queue-depth gauge, every
+    /// completed session's [`ReliabilityMetrics`] folds into the
+    /// registry (`ow_controller_retransmit_rounds`, the
+    /// `ow_controller_cr_phase_duration{phase="recovery"}` histogram,
+    /// …) alongside a `session_complete` journal event, and rejected
+    /// `offer`s bump `ow_controller_backpressure_dropped_total`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_sharded_obs(
+        window_subwindows: usize,
+        queue_depth: usize,
+        policy: RetryPolicy,
         mut retransmit: RetransmitFn,
         mut os_read: OsReadFn,
         shards: usize,
+        obs: Option<&Obs>,
     ) -> ReliableLiveController {
         let (tx, rx): (Sender<ReliableMsg>, Receiver<ReliableMsg>) = bounded(queue_depth);
-        let pool = ShardPool::spawn(shards, queue_depth);
+        let pool = ShardPool::spawn(shards, queue_depth, obs);
         let dropped = Arc::new(AtomicU64::new(0));
         let handle = LiveHandle {
             tables: pool.tables.clone(),
             partition: pool.partition,
             window_subwindows,
             dropped: dropped.clone(),
+            drop_counter: obs.map(|o| o.counter("ow_controller_backpressure_dropped_total", &[])),
         };
+        let obs = obs.cloned();
         let thread = std::thread::spawn(move || {
             let driver = ReliabilityDriver::new(policy);
             let mut total = ReliabilityMetrics::default();
+            let session_obs = obs.clone();
+            let session_counter = obs
+                .as_ref()
+                .map(|o| o.counter("ow_controller_sessions_total", &[]));
             let mut engine = WindowEngine::new();
+            if let Some(o) = &obs {
+                engine.set_sink(o.engine_sink("controller"));
+            }
             let mut merged_order: VecDeque<u32> = VecDeque::new();
             // Open sessions and AFRs that raced ahead of their
             // announcement (reordering across the message stream).
@@ -470,6 +582,28 @@ impl ReliableLiveController {
                     },
                 );
                 total.merge(&metrics);
+                if let Some(o) = &session_obs {
+                    o.fold_reliability(&metrics);
+                    o.event(
+                        Event::new(
+                            "session_complete",
+                            format!(
+                                "merged {} AFRs (first pass {}, recovered {}) after {} \
+                                 retransmit round(s), {} escalation(s)",
+                                metrics.first_pass + metrics.recovered,
+                                metrics.first_pass,
+                                metrics.recovered,
+                                metrics.retransmit_rounds,
+                                metrics.escalations,
+                            ),
+                        )
+                        .subwindow(subwindow)
+                        .phase("merged"),
+                    );
+                }
+                if let Some(c) = &session_counter {
+                    c.inc();
+                }
                 // The session's FSM arrives at Merged through the §8
                 // loop; the engine tracks it until slide-eviction.
                 engine.insert(*session.fsm());
@@ -538,7 +672,7 @@ impl ReliableLiveController {
         match self.sender.try_send(msg) {
             Ok(()) => true,
             Err(_) => {
-                self.handle.dropped.fetch_add(1, Ordering::Relaxed);
+                self.handle.count_drop();
                 false
             }
         }
@@ -877,6 +1011,151 @@ mod tests {
         assert_eq!(
             metrics.dropped, 1,
             "the drop is folded into join()'s metrics"
+        );
+    }
+
+    #[test]
+    fn obs_attached_reliable_controller_mirrors_join_metrics() {
+        let obs = Obs::new();
+        let store: HashMap<u32, Vec<FlowRecord>> =
+            (0..3u32).map(|sw| (sw, seq_batch(sw, 12))).collect();
+        let retrans_store = store.clone();
+        let ctl = ReliableLiveController::spawn_sharded_obs(
+            2,
+            64,
+            RetryPolicy::default(),
+            Box::new(move |sw, seqs| {
+                let batch = &retrans_store[&sw];
+                seqs.iter().map(|&s| batch[s as usize]).collect()
+            }),
+            Box::new(|_| panic!("no escalation expected")),
+            4,
+            Some(&obs),
+        );
+        for sw in 0..3u32 {
+            ctl.sender
+                .send(ReliableMsg::Announce {
+                    subwindow: sw,
+                    announced: 12,
+                })
+                .unwrap();
+            for rec in store[&sw].iter().filter(|r| r.seq % 2 == 0) {
+                ctl.sender.send(ReliableMsg::Afr(*rec)).unwrap();
+            }
+            ctl.sender
+                .send(ReliableMsg::EndOfStream { subwindow: sw })
+                .unwrap();
+        }
+        let metrics = ctl.join();
+        let snap = obs.snapshot();
+
+        // The registry mirrors join()'s fold, counter for counter.
+        assert_eq!(
+            snap.value("ow_controller_retransmit_rounds", &[]),
+            metrics.retransmit_rounds
+        );
+        assert_eq!(
+            snap.value("ow_controller_afr_first_pass_total", &[]),
+            metrics.first_pass
+        );
+        assert_eq!(
+            snap.value("ow_controller_afr_recovered_total", &[]),
+            metrics.recovered
+        );
+        assert_eq!(
+            snap.value("ow_controller_escalations_total", &[]),
+            metrics.escalations
+        );
+        assert_eq!(snap.value("ow_controller_sessions_total", &[]), 3);
+        assert!(metrics.retransmit_rounds >= 1, "lossy run must retransmit");
+
+        // Engine transitions flowed through the sink: each of the 3
+        // sessions is inserted at Merged; the first is Acked on slide.
+        assert_eq!(
+            snap.value(
+                "ow_common_engine_transitions_total",
+                &[("side", "controller")]
+            ),
+            1
+        );
+
+        // Per-shard queue-depth gauges exist for all 4 shards and read
+        // zero after join (every send was matched by a dequeue).
+        for shard in 0..4u32 {
+            assert_eq!(
+                snap.value(
+                    "ow_controller_shard_queue_depth",
+                    &[("shard", &shard.to_string())]
+                ),
+                0,
+                "shard {shard} gauge must settle to 0 after join"
+            );
+        }
+
+        // The C&R recovery-phase histogram saw one virtual-clock sample
+        // per session.
+        let recovery = snap
+            .get("ow_controller_cr_phase_duration", &[("phase", "recovery")])
+            .expect("recovery histogram registered");
+        let histogram = recovery.histogram.as_ref().expect("histogram detail");
+        assert_eq!(histogram.count, 3);
+        assert_eq!(histogram.sum, metrics.wall_clock.as_nanos());
+
+        // Each session also left a structured journal record.
+        let complete: Vec<_> = obs
+            .journal()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "session_complete")
+            .collect();
+        assert_eq!(complete.len(), 3);
+        assert_eq!(complete[0].subwindow, Some(0));
+        assert_eq!(complete[0].phase.as_deref(), Some("merged"));
+    }
+
+    #[test]
+    fn obs_attached_offer_drop_reaches_the_registry() {
+        // Same wedge as `offer_counts_drops_instead_of_blocking`, with
+        // the registry attached: the rejected offer must surface as
+        // `ow_controller_backpressure_dropped_total`.
+        let obs = Obs::new();
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let store = seq_batch(0, 1);
+        let replay = store.clone();
+        let ctl = ReliableLiveController::spawn_sharded_obs(
+            1,
+            2,
+            RetryPolicy::default(),
+            Box::new(move |_, seqs| {
+                entered_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+                seqs.iter().map(|&s| replay[s as usize]).collect()
+            }),
+            Box::new(|_| panic!("no escalation expected")),
+            1,
+            Some(&obs),
+        );
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: 0,
+                announced: 1,
+            })
+            .unwrap();
+        ctl.sender
+            .send(ReliableMsg::EndOfStream { subwindow: 0 })
+            .unwrap();
+        entered_rx.recv().unwrap();
+        assert!(ctl.offer(ReliableMsg::Afr(store[0])));
+        assert!(ctl.offer(ReliableMsg::Afr(store[0])));
+        assert!(!ctl.offer(ReliableMsg::Afr(store[0])));
+        gate_tx.send(()).unwrap();
+        let metrics = ctl.join();
+        assert_eq!(metrics.dropped, 1);
+        assert_eq!(
+            obs.snapshot()
+                .value("ow_controller_backpressure_dropped_total", &[]),
+            1
         );
     }
 

@@ -18,5 +18,6 @@ pub mod exp6_collection;
 pub mod exp7_aggregation;
 pub mod exp8_reset;
 pub mod exp9_consistency;
+pub mod obs_smoke;
 
 pub use common::Scale;

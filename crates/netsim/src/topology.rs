@@ -16,6 +16,7 @@
 //! throughput without touching any call site.
 
 use ow_controller::live::LiveController;
+use ow_obs::Obs;
 use ow_switch::app::DataPlaneApp;
 use ow_switch::switch::{Switch, SwitchConfig};
 use ow_verify::{verified_switch, VerifyReport};
@@ -48,6 +49,7 @@ pub struct TopologyBuilder {
     links: Vec<Link>,
     seed: u64,
     shards: usize,
+    obs: Option<Obs>,
 }
 
 impl Default for TopologyBuilder {
@@ -66,7 +68,17 @@ impl TopologyBuilder {
             links: Vec::new(),
             seed,
             shards: ow_controller::live::shards_from_env(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability registry to the topology: every verified
+    /// switch records its C&R histograms and lifecycle events into it,
+    /// and [`TopologyBuilder::build_live`]'s controller exposes its
+    /// per-shard queue-depth gauges and drop counters through it.
+    pub fn obs(mut self, obs: &Obs) -> Self {
+        self.obs = Some(obs.clone());
+        self
     }
 
     /// Set how many merge shards [`TopologyBuilder::build_live`]'s
@@ -115,7 +127,11 @@ impl TopologyBuilder {
                 first_hop: i == 0,
                 ..cfg.clone()
             };
-            switches.push(verified_switch(node_cfg, app(i, 0), app(i, 1))?);
+            let mut switch = verified_switch(node_cfg, app(i, 0), app(i, 1))?;
+            if let Some(obs) = &self.obs {
+                switch.attach_obs(obs);
+            }
+            switches.push(switch);
         }
         Ok(VerifiedPath {
             switches,
@@ -143,10 +159,16 @@ impl TopologyBuilder {
         F: FnMut(usize, usize) -> A,
     {
         let shards = self.shards;
+        let obs = self.obs.clone();
         let path = self.build_verified(cfg, app)?;
         Ok(LivePath {
             path,
-            controller: LiveController::spawn_sharded(window_subwindows, queue_depth, shards),
+            controller: LiveController::spawn_sharded_obs(
+                window_subwindows,
+                queue_depth,
+                shards,
+                obs.as_ref(),
+            ),
         })
     }
 }
@@ -223,6 +245,63 @@ mod tests {
         assert_eq!(live.controller.join(), 2);
         assert_eq!(handle.merged_flows(), 20);
         assert_eq!(handle.subwindows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn obs_knob_wires_the_registry_through_switches_and_controller() {
+        use ow_common::afr::FlowRecord;
+        use ow_common::flowkey::FlowKey;
+        use ow_controller::live::DataPlaneMsg;
+
+        let obs = Obs::new();
+        let live = TopologyBuilder::new(7)
+            .shards(2)
+            .obs(&obs)
+            .node(NodeConfig::default())
+            .link(Link::default())
+            .node(NodeConfig::default())
+            .build_live(
+                &SwitchConfig {
+                    fk_capacity: 1024,
+                    expected_flows: 4096,
+                    ..SwitchConfig::default()
+                },
+                app,
+                3,
+                16,
+            )
+            .expect("both nodes verify");
+        live.controller
+            .sender
+            .send(DataPlaneMsg::AfrBatch {
+                subwindow: 0,
+                afrs: (0..10)
+                    .map(|i| FlowRecord::frequency(FlowKey::src_ip(i), 5, 0))
+                    .collect(),
+            })
+            .unwrap();
+        assert_eq!(live.controller.join(), 1);
+
+        let snap = obs.snapshot();
+        // Controller side: the routed batch and both shard gauges
+        // (drained back to zero) are visible.
+        assert_eq!(snap.value("ow_controller_batches_total", &[]), 1);
+        for shard in 0..2u32 {
+            let gauge = snap
+                .get(
+                    "ow_controller_shard_queue_depth",
+                    &[("shard", &shard.to_string())],
+                )
+                .expect("per-shard gauge registered");
+            assert_eq!(gauge.value, 0);
+        }
+        // Switch side: both verified switches attached the same
+        // registry (their metric families exist even before any
+        // collection runs).
+        assert!(snap.get("ow_switch_collections_total", &[]).is_some());
+        assert!(snap
+            .get("ow_common_engine_transitions_total", &[("side", "switch")])
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! `ow-obs-report` — render a `results/obs_*.json` snapshot as
+//! human-readable tables.
+//!
+//! ```text
+//! ow-obs-report results/obs_smoke.json [--events N] [--prometheus]
+//! ```
+//!
+//! Prints the run's counters/gauges, histogram percentiles (virtual
+//! nanoseconds), and the retained journal tail. `--prometheus` instead
+//! re-reads just the registry and prints nothing but the text
+//! exposition (handy for piping into format checkers).
+
+use std::process::ExitCode;
+
+use ow_obs::json::{parse, ValueExt};
+use serde::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut events_shown = 20usize;
+    let mut prometheus = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => events_shown = n,
+                None => return usage("--events needs an integer"),
+            },
+            "--prometheus" => prometheus = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ow-obs-report <obs_snapshot.json> [--events N] [--prometheus]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => return usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing snapshot path");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ow-obs-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("ow-obs-report: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match render(&doc, events_shown, prometheus) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ow-obs-report: malformed snapshot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ow-obs-report: {msg}");
+    eprintln!("usage: ow-obs-report <obs_snapshot.json> [--events N] [--prometheus]");
+    ExitCode::from(2)
+}
+
+fn render_id(m: &Value) -> Result<String, String> {
+    let name = m
+        .field("name")
+        .and_then(Value::as_str)
+        .ok_or("metric without name")?;
+    let labels = m.field("labels").and_then(Value::items).unwrap_or(&[]);
+    if labels.is_empty() {
+        return Ok(name.to_string());
+    }
+    let mut parts = Vec::new();
+    for pair in labels {
+        let kv = pair.items().ok_or("label is not a pair")?;
+        if kv.len() != 2 {
+            return Err("label pair is not 2-element".into());
+        }
+        parts.push(format!(
+            "{}=\"{}\"",
+            kv[0].as_str().unwrap_or("?"),
+            kv[1].as_str().unwrap_or("?")
+        ));
+    }
+    Ok(format!("{name}{{{}}}", parts.join(",")))
+}
+
+fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, String> {
+    let metrics = doc
+        .field("registry")
+        .and_then(|r| r.field("metrics"))
+        .and_then(Value::items)
+        .ok_or("missing registry.metrics")?;
+
+    if prometheus {
+        return render_prometheus(metrics);
+    }
+
+    let run = doc.field("run").and_then(Value::as_str).unwrap_or("?");
+    let recorded = doc
+        .field("events_recorded")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let events = doc.field("events").and_then(Value::items).unwrap_or(&[]);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "run: {run} — {} metrics, {recorded} events recorded ({} retained)\n\n",
+        metrics.len(),
+        events.len()
+    ));
+
+    let scalars: Vec<&Value> = metrics
+        .iter()
+        .filter(|m| m.field("kind").and_then(Value::as_str) != Some("histogram"))
+        .collect();
+    if !scalars.is_empty() {
+        out.push_str("== counters & gauges ==\n");
+        let ids: Vec<String> = scalars
+            .iter()
+            .map(|m| render_id(m))
+            .collect::<Result<_, _>>()?;
+        let width = ids.iter().map(String::len).max().unwrap_or(0);
+        for (m, id) in scalars.iter().zip(&ids) {
+            let kind = m.field("kind").and_then(Value::as_str).unwrap_or("?");
+            let value = m.field("value").and_then(Value::as_u64).unwrap_or(0);
+            out.push_str(&format!("{id:<width$}  {kind:<7}  {value}\n"));
+        }
+        out.push('\n');
+    }
+
+    let histos: Vec<&Value> = metrics
+        .iter()
+        .filter(|m| m.field("kind").and_then(Value::as_str) == Some("histogram"))
+        .collect();
+    if !histos.is_empty() {
+        out.push_str("== histograms (virtual ns) ==\n");
+        let ids: Vec<String> = histos
+            .iter()
+            .map(|m| render_id(m))
+            .collect::<Result<_, _>>()?;
+        let width = ids.iter().map(String::len).max().unwrap_or(0).max(4);
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>14}\n",
+            "name", "count", "p50", "p90", "p99", "sum"
+        ));
+        for (m, id) in histos.iter().zip(&ids) {
+            let h = m
+                .field("histogram")
+                .ok_or("histogram metric without detail")?;
+            let get = |k: &str| h.field(k).and_then(Value::as_u64).unwrap_or(0);
+            out.push_str(&format!(
+                "{id:<width$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>14}\n",
+                get("count"),
+                get("p50"),
+                get("p90"),
+                get("p99"),
+                get("sum")
+            ));
+        }
+        out.push('\n');
+    }
+
+    if !events.is_empty() && events_shown > 0 {
+        let tail = &events[events.len().saturating_sub(events_shown)..];
+        out.push_str(&format!(
+            "== journal (last {} of {recorded}) ==\n",
+            tail.len()
+        ));
+        for e in tail {
+            let seq = e.field("seq").and_then(Value::as_u64).unwrap_or(0);
+            let level = match e.field("level").and_then(Value::as_str) {
+                Some("Warn") => "WARN",
+                _ => "info",
+            };
+            let kind = e.field("kind").and_then(Value::as_str).unwrap_or("?");
+            let mut ctx = Vec::new();
+            if let Some(sw) = e.field("subwindow").and_then(Value::as_u64) {
+                ctx.push(format!("sw={sw}"));
+            }
+            if let Some(p) = e.field("phase").and_then(Value::as_str) {
+                ctx.push(format!("phase={p}"));
+            }
+            if let Some(s) = e.field("shard").and_then(Value::as_u64) {
+                ctx.push(format!("shard={s}"));
+            }
+            let ctx = if ctx.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", ctx.join(" "))
+            };
+            let message = e.field("message").and_then(Value::as_str).unwrap_or("");
+            out.push_str(&format!("{seq:>6}  {level}  {kind}{ctx}: {message}\n"));
+        }
+    }
+    Ok(out)
+}
+
+fn render_prometheus(metrics: &[Value]) -> Result<String, String> {
+    // Rebuild exposition text from the snapshot JSON (scalar series
+    // only carry their value; histograms re-expand to buckets).
+    let mut out = String::new();
+    let mut last_family: Option<(String, String)> = None;
+    for m in metrics {
+        let name = m
+            .field("name")
+            .and_then(Value::as_str)
+            .ok_or("metric without name")?
+            .to_string();
+        let kind = m
+            .field("kind")
+            .and_then(Value::as_str)
+            .ok_or("metric without kind")?
+            .to_string();
+        let family = (name.clone(), kind.clone());
+        if last_family.as_ref() != Some(&family) {
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_family = Some(family);
+        }
+        let id = render_id(m)?;
+        if kind == "histogram" {
+            let h = m
+                .field("histogram")
+                .ok_or("histogram metric without detail")?;
+            let buckets = h.field("buckets").and_then(Value::items).unwrap_or(&[]);
+            let mut cumulative = 0u64;
+            let (bare, labels) = match id.split_once('{') {
+                Some((n, rest)) => (n.to_string(), {
+                    let inner = rest.trim_end_matches('}');
+                    format!(",{inner}")
+                }),
+                None => (id.clone(), String::new()),
+            };
+            for pair in buckets {
+                let kv = pair.items().ok_or("bucket is not a pair")?;
+                let bound = kv.first().and_then(Value::as_u64).unwrap_or(0);
+                cumulative += kv.get(1).and_then(Value::as_u64).unwrap_or(0);
+                out.push_str(&format!(
+                    "{bare}_bucket{{le=\"{bound}\"{labels}}} {cumulative}\n"
+                ));
+            }
+            let count = h.field("count").and_then(Value::as_u64).unwrap_or(0);
+            let sum = h.field("sum").and_then(Value::as_u64).unwrap_or(0);
+            out.push_str(&format!("{bare}_bucket{{le=\"+Inf\"{labels}}} {count}\n"));
+            let suffix_id = |suffix: &str| {
+                if labels.is_empty() {
+                    format!("{bare}{suffix}")
+                } else {
+                    format!("{bare}{suffix}{{{}}}", labels.trim_start_matches(','))
+                }
+            };
+            out.push_str(&format!("{} {sum}\n", suffix_id("_sum")));
+            out.push_str(&format!("{} {count}\n", suffix_id("_count")));
+        } else {
+            let value = m.field("value").and_then(Value::as_u64).unwrap_or(0);
+            out.push_str(&format!("{id} {value}\n"));
+        }
+    }
+    Ok(out)
+}

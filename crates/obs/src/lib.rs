@@ -1,0 +1,267 @@
+//! `ow-obs` — observability for the OmniWindow reproduction.
+//!
+//! Three pieces, all designed around the repo's *virtual* clock so that
+//! everything recorded is deterministic and testable:
+//!
+//! * [`MetricsRegistry`] ([`registry`]) — named counters, gauges, and
+//!   fixed-bucket log2 histograms with percentile readout. Handles are
+//!   atomics shared out of the registry, so hot paths never touch the
+//!   registry lock. Names follow `ow_<crate>_<name>`.
+//! * [`EventJournal`] ([`journal`]) — typed lifecycle events (window,
+//!   phase, shard) in a bounded ring, with optional JSONL and console
+//!   sinks; this replaces free-form `eprintln!` progress prints.
+//! * Exporters ([`export`]) — Prometheus text exposition with a
+//!   line-format checker, plus `results/obs_*.json` snapshot reports
+//!   rendered by the `ow-obs-report` binary.
+//!
+//! [`Obs`] bundles one registry and one journal into a cheap-clone
+//! handle that threads through the switch, controller, and topology
+//! builder. [`Obs::engine_sink`] adapts the handle onto
+//! [`ow_common::engine::TransitionSink`] so every `WindowEngine`
+//! transition — including rejected drift — lands in both the registry
+//! and the journal.
+
+pub mod export;
+pub mod journal;
+pub mod json;
+pub mod registry;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ow_common::engine::{Transition, TransitionSink, WindowPhase};
+use ow_common::metrics::ReliabilityMetrics;
+
+pub use export::{check_exposition, prometheus_text, ObsReport};
+pub use journal::{Event, EventJournal, Level};
+pub use registry::{
+    validate_metric_name, Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot,
+};
+
+/// The combined observability handle: one metrics registry plus one
+/// event journal. Cheap to clone (two `Arc`s); every clone observes the
+/// same run.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    registry: Arc<MetricsRegistry>,
+    journal: Arc<EventJournal>,
+}
+
+impl Obs {
+    /// A fresh registry + journal pair.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
+    }
+
+    /// Register (or look up) a counter. See [`MetricsRegistry::counter`].
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.registry.counter(name, labels)
+    }
+
+    /// Register (or look up) a gauge. See [`MetricsRegistry::gauge`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.registry.gauge(name, labels)
+    }
+
+    /// Register (or look up) a histogram. See
+    /// [`MetricsRegistry::histogram`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.registry.histogram(name, labels)
+    }
+
+    /// Record one journal event.
+    pub fn event(&self, event: Event) {
+        self.journal.record(event);
+    }
+
+    /// A deterministic snapshot of the registry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Capture a full on-disk report (registry + journal tail).
+    pub fn report(&self, run: &str) -> ObsReport {
+        ObsReport::capture(run, &self.registry, &self.journal)
+    }
+
+    /// A [`TransitionSink`] mirroring every `WindowEngine` transition on
+    /// the given `side` (`"switch"` / `"controller"`) into this handle:
+    /// `ow_common_engine_{transitions,released,rejected}_total{side=…}`
+    /// counters, an `fsm_transition` journal event per step, and a
+    /// one-shot `drift_detected` warning on the first rejection.
+    pub fn engine_sink(&self, side: &str) -> Arc<EngineObserver> {
+        Arc::new(EngineObserver {
+            obs: self.clone(),
+            side: side.to_string(),
+            transitions: self.counter("ow_common_engine_transitions_total", &[("side", side)]),
+            released: self.counter("ow_common_engine_released_total", &[("side", side)]),
+            rejected: self.counter("ow_common_engine_rejected_total", &[("side", side)]),
+            drift_warned: AtomicBool::new(false),
+        })
+    }
+
+    /// Fold one session's [`ReliabilityMetrics`] into the registry under
+    /// the `ow_controller_*` names (counters accumulate across
+    /// sessions; `wall_clock` feeds the C&R recovery-duration
+    /// histogram).
+    pub fn fold_reliability(&self, m: &ReliabilityMetrics) {
+        self.counter("ow_controller_afr_announced_total", &[])
+            .add(m.announced);
+        self.counter("ow_controller_afr_first_pass_total", &[])
+            .add(m.first_pass);
+        self.counter("ow_controller_retransmit_rounds", &[])
+            .add(m.retransmit_rounds);
+        self.counter("ow_controller_retransmit_requests_total", &[])
+            .add(m.retransmit_requests);
+        self.counter("ow_controller_afr_recovered_total", &[])
+            .add(m.recovered);
+        self.counter("ow_controller_afr_duplicates_total", &[])
+            .add(m.duplicates);
+        self.counter("ow_controller_escalations_total", &[])
+            .add(m.escalations);
+        self.counter("ow_controller_backpressure_dropped_total", &[])
+            .add(m.dropped);
+        self.histogram("ow_controller_cr_phase_duration", &[("phase", "recovery")])
+            .record(m.wall_clock);
+    }
+}
+
+/// Adapter from [`Obs`] onto the engine's [`TransitionSink`] hook; build
+/// via [`Obs::engine_sink`].
+#[derive(Debug)]
+pub struct EngineObserver {
+    obs: Obs,
+    side: String,
+    transitions: Counter,
+    released: Counter,
+    rejected: Counter,
+    drift_warned: AtomicBool,
+}
+
+impl TransitionSink for EngineObserver {
+    fn on_transition(&self, t: &Transition) {
+        self.transitions.inc();
+        match t.to {
+            Some(to) => {
+                if to == WindowPhase::Released {
+                    self.released.inc();
+                }
+                self.obs.event(
+                    Event::new(
+                        "fsm_transition",
+                        format!("{} -> {} via '{}' ({})", t.from, to, t.event, self.side),
+                    )
+                    .subwindow(t.subwindow)
+                    .phase(to.name()),
+                );
+            }
+            None => {
+                self.rejected.inc();
+                self.obs.event(
+                    Event::new(
+                        "fsm_transition",
+                        format!(
+                            "rejected event '{}' in phase '{}' ({})",
+                            t.event, t.from, self.side
+                        ),
+                    )
+                    .warn()
+                    .subwindow(t.subwindow)
+                    .phase(t.from.name()),
+                );
+                if !self.drift_warned.swap(true, Ordering::Relaxed) {
+                    self.obs.event(
+                        Event::new(
+                            "drift_detected",
+                            format!(
+                                "first rejected transition on side '{}': sub-window {} event '{}' in phase '{}'",
+                                self.side, t.subwindow, t.event, t.from
+                            ),
+                        )
+                        .warn()
+                        .subwindow(t.subwindow),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_common::engine::{WindowEngine, WindowEvent, WindowFsm};
+    use ow_common::time::Duration;
+
+    #[test]
+    fn engine_sink_mirrors_transitions_into_registry_and_journal() {
+        let obs = Obs::new();
+        let mut engine = WindowEngine::new();
+        engine.set_sink(obs.engine_sink("controller"));
+        engine.insert(WindowFsm::announced(3, 5));
+        engine.apply(3, WindowEvent::RetransmitRound).unwrap();
+        engine.apply(3, WindowEvent::StreamComplete).unwrap();
+        engine.apply(3, WindowEvent::Acked).unwrap();
+        assert!(engine.apply(3, WindowEvent::Acked).is_err(), "pruned");
+        assert!(engine.apply(3, WindowEvent::Acked).is_err());
+
+        let snap = obs.snapshot();
+        let side = [("side", "controller")];
+        assert_eq!(snap.value("ow_common_engine_transitions_total", &side), 5);
+        assert_eq!(snap.value("ow_common_engine_released_total", &side), 1);
+        assert_eq!(snap.value("ow_common_engine_rejected_total", &side), 2);
+        assert_eq!(
+            snap.value("ow_common_engine_rejected_total", &side),
+            engine.rejected()
+        );
+
+        let events = obs.journal().events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+        // 5 fsm_transition events plus exactly one drift_detected.
+        assert_eq!(kinds.iter().filter(|k| **k == "fsm_transition").count(), 5);
+        assert_eq!(kinds.iter().filter(|k| **k == "drift_detected").count(), 1);
+        let drift = events.iter().find(|e| e.kind == "drift_detected").unwrap();
+        assert_eq!(drift.level, Level::Warn);
+        assert_eq!(drift.subwindow, Some(3));
+    }
+
+    #[test]
+    fn reliability_metrics_fold_accumulates() {
+        let obs = Obs::new();
+        let session = ReliabilityMetrics {
+            announced: 10,
+            first_pass: 7,
+            retransmit_rounds: 2,
+            retransmit_requests: 3,
+            recovered: 3,
+            duplicates: 1,
+            escalations: 1,
+            dropped: 0,
+            wall_clock: Duration::from_micros(400),
+        };
+        obs.fold_reliability(&session);
+        obs.fold_reliability(&session);
+        let snap = obs.snapshot();
+        assert_eq!(snap.value("ow_controller_afr_announced_total", &[]), 20);
+        assert_eq!(snap.value("ow_controller_retransmit_rounds", &[]), 4);
+        assert_eq!(snap.value("ow_controller_escalations_total", &[]), 2);
+        let h = snap
+            .get("ow_controller_cr_phase_duration", &[("phase", "recovery")])
+            .unwrap()
+            .histogram
+            .as_ref()
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 800_000);
+    }
+}

@@ -7,6 +7,7 @@ use ow_common::packet::Packet;
 use ow_common::time::{Duration, Instant};
 
 use ow_common::afr::FlowRecord;
+use ow_obs::{Counter, Event, Histogram, Obs};
 
 use crate::app::DataPlaneApp;
 use crate::collect::{CollectConfig, CollectOutcome, CrEngine, RetransmitBuffer};
@@ -93,6 +94,41 @@ pub enum SwitchEvent {
     LatencySpike(Packet),
 }
 
+/// Pre-registered observability handles for the switch hot paths (one
+/// registry lookup at attach time, atomic bumps afterwards).
+#[derive(Debug, Clone)]
+struct SwitchObs {
+    obs: Obs,
+    collect_time: Histogram,
+    reset_time: Histogram,
+    os_read_time: Histogram,
+    batch_size: Histogram,
+    replay_size: Histogram,
+    collections: Counter,
+    retransmit_requests: Counter,
+    acks: Counter,
+    evictions: Counter,
+    spikes: Counter,
+}
+
+impl SwitchObs {
+    fn new(obs: &Obs) -> SwitchObs {
+        SwitchObs {
+            collect_time: obs.histogram("ow_switch_cr_phase_duration", &[("phase", "collect")]),
+            reset_time: obs.histogram("ow_switch_cr_phase_duration", &[("phase", "reset")]),
+            os_read_time: obs.histogram("ow_switch_os_read_duration", &[]),
+            batch_size: obs.histogram("ow_switch_afr_batch_size", &[]),
+            replay_size: obs.histogram("ow_switch_retransmit_replay_size", &[]),
+            collections: obs.counter("ow_switch_collections_total", &[]),
+            retransmit_requests: obs.counter("ow_switch_retransmit_requests_total", &[]),
+            acks: obs.counter("ow_switch_acks_total", &[]),
+            evictions: obs.counter("ow_switch_evictions_total", &[]),
+            spikes: obs.counter("ow_switch_latency_spikes_total", &[]),
+            obs: obs.clone(),
+        }
+    }
+}
+
 /// A fully composed OmniWindow switch around application `A`.
 #[derive(Debug)]
 pub struct Switch<A> {
@@ -109,6 +145,8 @@ pub struct Switch<A> {
     spikes: u64,
     /// Terminated AFR batches awaiting controller acknowledgement (§8).
     retransmit: RetransmitBuffer,
+    /// Observability handles (present after [`Switch::attach_obs`]).
+    obs: Option<SwitchObs>,
 }
 
 impl<A: DataPlaneApp> Switch<A> {
@@ -139,7 +177,17 @@ impl<A: DataPlaneApp> Switch<A> {
             cfg,
             engine,
             spikes: 0,
+            obs: None,
         }
+    }
+
+    /// Attach an observability handle: every `WindowEngine` transition
+    /// mirrors into its registry/journal (side `"switch"`), and the
+    /// collect / retransmit / ack / OS-read handlers record per-session
+    /// histograms under `ow_switch_*`.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.engine.set_sink(obs.engine_sink("switch"));
+        self.obs = Some(SwitchObs::new(obs));
     }
 
     /// Current sub-window number.
@@ -183,7 +231,12 @@ impl<A: DataPlaneApp> Switch<A> {
         ) {
             let _ = self.engine.apply(subwindow, WindowEvent::RetransmitRound);
         }
-        self.retransmit.retransmit(subwindow, seqs)
+        let replayed = self.retransmit.retransmit(subwindow, seqs);
+        if let Some(o) = &self.obs {
+            o.retransmit_requests.inc();
+            o.replay_size.record_value(replayed.len() as u64);
+        }
+        replayed
     }
 
     /// Controller acknowledgement that `subwindow`'s batch merged
@@ -191,6 +244,9 @@ impl<A: DataPlaneApp> Switch<A> {
     pub fn ack_collection(&mut self, subwindow: u32) {
         self.retire_window(subwindow, false);
         self.retransmit.release(subwindow);
+        if let Some(o) = &self.obs {
+            o.acks.inc();
+        }
     }
 
     /// The §8 escalation path: read a terminated sub-window's full batch
@@ -206,6 +262,16 @@ impl<A: DataPlaneApp> Switch<A> {
             .os_read(app.meta().register_arrays, app.states_per_array());
         self.retire_window(subwindow, true);
         self.retransmit.release(subwindow);
+        if let Some(o) = &self.obs {
+            o.os_read_time.record(cost);
+            o.obs.event(
+                Event::new(
+                    "os_read",
+                    format!("OS-path readback of {} records cost {cost}", batch.len()),
+                )
+                .subwindow(subwindow),
+            );
+        }
         Some((batch, cost))
     }
 
@@ -270,8 +336,39 @@ impl<A: DataPlaneApp> Switch<A> {
         // buffer pushed out can no longer be repaired and are released.
         for evicted in self.retransmit.retain(ended, &outcome.afrs) {
             let _ = self.engine.apply(evicted, WindowEvent::Evicted);
+            if let Some(o) = &self.obs {
+                o.evictions.inc();
+                o.obs.event(
+                    Event::new(
+                        "retransmit_evicted",
+                        "retained batch evicted unacknowledged",
+                    )
+                    .warn()
+                    .subwindow(evicted),
+                );
+            }
         }
         self.state.complete_cr();
+        if let Some(o) = &self.obs {
+            o.collections.inc();
+            o.collect_time.record(outcome.collect_time);
+            o.reset_time.record(outcome.reset_time);
+            o.batch_size.record_value(outcome.afrs.len() as u64);
+            o.obs.event(
+                Event::new(
+                    "cr_session",
+                    format!(
+                        "collected {} AFRs (collect {}, reset {})",
+                        outcome.afrs.len(),
+                        outcome.collect_time,
+                        outcome.reset_time
+                    ),
+                )
+                .subwindow(ended)
+                .phase("collected")
+                .at(started),
+            );
+        }
         events.push(SwitchEvent::AfrBatch {
             subwindow: ended,
             started,
@@ -342,6 +439,9 @@ impl<A: DataPlaneApp> Switch<A> {
             }
             Placement::LatencySpike { .. } => {
                 self.spikes += 1;
+                if let Some(o) = &self.obs {
+                    o.spikes.inc();
+                }
                 events.push(SwitchEvent::LatencySpike(pkt));
             }
         }
@@ -656,6 +756,55 @@ mod tests {
         let evicted = sw.retransmit_buffer().evicted();
         assert_eq!(sw.engine().released(), evicted);
         assert_eq!(sw.engine().rejected(), 0);
+    }
+
+    #[test]
+    fn attached_obs_records_cr_histograms_and_lifecycle() {
+        let mut sw = mk_switch(true);
+        let obs = Obs::new();
+        sw.attach_obs(&obs);
+        for i in 0..4u32 {
+            sw.process(pkt(i + 1, 10));
+        }
+        let events = sw.flush();
+        let (subwindow, announced) = afr_batches(&events)[0];
+        sw.handle_retransmit_request(subwindow, &[0]);
+        sw.ack_collection(subwindow);
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.value("ow_switch_collections_total", &[]), 1);
+        assert_eq!(snap.value("ow_switch_retransmit_requests_total", &[]), 1);
+        assert_eq!(snap.value("ow_switch_acks_total", &[]), 1);
+        let collect = snap
+            .get("ow_switch_cr_phase_duration", &[("phase", "collect")])
+            .unwrap()
+            .histogram
+            .as_ref()
+            .unwrap();
+        assert_eq!(collect.count, 1);
+        assert!(
+            collect.sum > 0,
+            "collect time is charged on the virtual clock"
+        );
+        let sizes = snap
+            .get("ow_switch_afr_batch_size", &[])
+            .unwrap()
+            .histogram
+            .as_ref()
+            .unwrap();
+        assert_eq!(sizes.count, 1);
+        assert_eq!(sizes.sum, announced as u64);
+        // The engine sink mirrored the lifecycle, including the release.
+        assert!(snap.value("ow_common_engine_transitions_total", &[("side", "switch")]) > 0);
+        assert_eq!(
+            snap.value("ow_common_engine_released_total", &[("side", "switch")]),
+            1
+        );
+        assert!(obs
+            .journal()
+            .events()
+            .iter()
+            .any(|e| e.kind == "cr_session" && e.subwindow == Some(subwindow)));
     }
 
     #[test]
