@@ -13,9 +13,7 @@
 use std::time::Instant;
 
 use omniwindow::experiments::Scale;
-use ow_bench::Cli;
-use ow_common::afr::FlowRecord;
-use ow_common::flowkey::FlowKey;
+use ow_bench::{cr_workload, Cli};
 use ow_controller::live::{DataPlaneMsg, LiveController};
 use ow_controller::wire::encode_merged;
 use serde::Serialize;
@@ -54,27 +52,6 @@ struct BenchCr {
     rows: Vec<ShardRow>,
 }
 
-/// A deterministic workload: `subwindows` batches of `records` AFRs
-/// over a `population`-key space, values mixed so every shard count
-/// replays exactly the same records.
-fn workload(subwindows: u32, records: u32, population: u32, seed: u64) -> Vec<Vec<FlowRecord>> {
-    (0..subwindows)
-        .map(|sw| {
-            (0..records)
-                .map(|i| {
-                    let mix = (u64::from(i))
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(u64::from(sw).wrapping_mul(seed | 1));
-                    let key = (mix >> 16) as u32 % population;
-                    let mut r = FlowRecord::frequency(FlowKey::src_ip(key), (mix & 0x3FF) + 1, sw);
-                    r.seq = i;
-                    r
-                })
-                .collect()
-        })
-        .collect()
-}
-
 fn main() {
     let mut cli = Cli::parse();
     // This binary's JSON artifact is the point: default the dump path
@@ -87,7 +64,7 @@ fn main() {
         Scale::Paper => (24u32, 40_000u32, 16_384u32),
     };
     let window_span = 8usize;
-    let batches = workload(subwindows, records, population, cli.seed);
+    let batches = cr_workload(subwindows, records, population, cli.seed);
     let total_records = u64::from(subwindows) * u64::from(records);
 
     eprintln!(

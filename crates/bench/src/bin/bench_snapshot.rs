@@ -1,0 +1,305 @@
+//! `bench_snapshot` — the PR-level perf snapshot gate: C&R merge
+//! throughput per shard count with observability + span tracing off vs
+//! on, plus the instrumented `obs_smoke` run's trace statistics.
+//!
+//! For each shard count ∈ {1, 2, 4, 8} the same deterministic lossless
+//! AFR workload streams through a [`ReliableLiveController`] twice —
+//! bare, then with a full `ow-obs` handle attached and every message
+//! carrying a wire-propagated [`TraceContext`] (best of three runs
+//! each). The aggregate obs+tracing overhead must stay **under 10%**,
+//! or the binary exits nonzero: observability that taxes the hot path
+//! double digits is a regression, not a feature.
+//!
+//! Writes `BENCH_5.json` at the repo root (override with `--json`),
+//! including the PR 3 `results/bench_cr.json` baseline rates when that
+//! file is present.
+
+use std::time::Instant;
+
+use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
+use omniwindow::experiments::Scale;
+use ow_bench::{cr_workload, Cli};
+use ow_common::afr::FlowRecord;
+use ow_common::time::Duration;
+use ow_controller::live::{ReliableLiveController, ReliableMsg};
+use ow_controller::reliability::RetryPolicy;
+use ow_obs::json::ValueExt;
+use ow_obs::{Obs, TraceContext, TraceReport, Traced};
+use serde::{Serialize, Value};
+
+/// One shard count's off/on measurement.
+#[derive(Debug, Clone, Serialize)]
+struct OverheadRow {
+    /// Merge shards behind the controller.
+    shards: usize,
+    /// AFR records pushed through the pipeline per run.
+    records: u64,
+    /// Best-of-3 merge rate with no observability attached.
+    off_records_per_sec: f64,
+    /// Best-of-3 merge rate with obs + span tracing attached.
+    on_records_per_sec: f64,
+    /// `(off − on) / off`, as a percentage (negative = tracing faster,
+    /// i.e. noise).
+    overhead_pct: f64,
+    /// PR 3's `bench_cr` rate at this shard count, when the committed
+    /// baseline was readable.
+    baseline_records_per_sec: Option<f64>,
+}
+
+/// Key statistics of the traced `obs_smoke` run.
+#[derive(Debug, Clone, Serialize)]
+struct SmokeStats {
+    /// Flows in the final merged view.
+    merged_flows: u64,
+    /// Completed C&R sessions.
+    sessions: u64,
+    /// Window span trees captured.
+    traces: u64,
+    /// Spans across all trees.
+    spans: u64,
+    /// Windows whose critical path blew the 10ms SLO.
+    slo_violations: u64,
+}
+
+/// The whole `BENCH_5.json` document.
+#[derive(Debug, Clone, Serialize)]
+struct Bench5 {
+    /// Fixed run label.
+    run: String,
+    /// Sub-windows in the workload.
+    subwindows: u32,
+    /// Records per sub-window.
+    records_per_subwindow: u32,
+    /// Sliding-window span.
+    window_span: usize,
+    /// Per-shard-count off/on measurements.
+    rows: Vec<OverheadRow>,
+    /// Aggregate obs+tracing overhead across all shard counts, %.
+    aggregate_overhead_pct: f64,
+    /// The traced smoke run's statistics.
+    obs_smoke: SmokeStats,
+}
+
+/// Numeric JSON field as f64 (the shim's `as_u64` only covers
+/// integers; baseline rates are fractional).
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Number(n) => Some(*n),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// PR 3's committed per-shard rates, if `results/bench_cr.json` exists
+/// and parses: `(shards, records_per_sec)` pairs.
+fn load_baseline() -> Vec<(u64, f64)> {
+    let Ok(text) = std::fs::read_to_string("results/bench_cr.json") else {
+        return Vec::new();
+    };
+    let Ok(doc) = ow_obs::json::parse(&text) else {
+        return Vec::new();
+    };
+    doc.field("rows")
+        .and_then(Value::items)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|row| {
+            Some((
+                row.field("shards").and_then(Value::as_u64)?,
+                row.field("records_per_sec").and_then(as_f64)?,
+            ))
+        })
+        .collect()
+}
+
+/// Stream the whole workload through one lossless reliable controller
+/// and return the wall seconds for ingest + drain. With `obs` attached,
+/// every message carries a minted [`TraceContext`], so the run pays the
+/// full span-tracing cost (context propagation, marks, merge spans).
+fn run_once(batches: &[Vec<FlowRecord>], shards: usize, span: usize, obs: Option<&Obs>) -> f64 {
+    let ctl = ReliableLiveController::spawn_sharded_obs(
+        span,
+        256,
+        RetryPolicy::default(),
+        Box::new(|_, _| Vec::new()),
+        Box::new(|_| panic!("a lossless run never escalates")),
+        shards,
+        obs,
+    );
+    let started = Instant::now();
+    for (sw, afrs) in batches.iter().enumerate() {
+        let sw = sw as u32;
+        let ctx = obs.map(|o| {
+            let tracer = o.tracer();
+            let trace = tracer.start_window(sw, "switch", 0);
+            let collect = tracer
+                .span(trace, trace, "collect", "switch", None, 0, 1)
+                .expect("collect span under a live trace");
+            TraceContext {
+                trace_id: trace,
+                root: trace,
+                collect,
+                anchor_ns: 1,
+            }
+        });
+        match ctx {
+            Some(ctx) => {
+                ctl.sender
+                    .send(ReliableMsg::TracedAnnounce {
+                        subwindow: sw,
+                        announced: afrs.len() as u32,
+                        ctx,
+                    })
+                    .expect("controller alive");
+                for rec in afrs {
+                    ctl.sender
+                        .send(ReliableMsg::TracedAfr(Traced::new(ctx, *rec)))
+                        .expect("controller alive");
+                }
+            }
+            None => {
+                ctl.sender
+                    .send(ReliableMsg::Announce {
+                        subwindow: sw,
+                        announced: afrs.len() as u32,
+                    })
+                    .expect("controller alive");
+                for rec in afrs {
+                    ctl.sender
+                        .send(ReliableMsg::Afr(*rec))
+                        .expect("controller alive");
+                }
+            }
+        }
+        ctl.sender
+            .send(ReliableMsg::EndOfStream { subwindow: sw })
+            .expect("controller alive");
+    }
+    let metrics = ctl.join();
+    assert_eq!(
+        metrics.recovered, 0,
+        "lossless workload must complete on the first pass"
+    );
+    started.elapsed().as_secs_f64()
+}
+
+/// Best-of-3 wall seconds for one configuration. A fresh [`Obs`] per
+/// repetition keeps the tracer from accumulating across reps.
+fn best_of_3(batches: &[Vec<FlowRecord>], shards: usize, span: usize, traced: bool) -> f64 {
+    (0..3)
+        .map(|_| {
+            if traced {
+                run_once(batches, shards, span, Some(&Obs::new()))
+            } else {
+                run_once(batches, shards, span, None)
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.json.is_none() {
+        cli.json = Some("BENCH_5.json".into());
+    }
+    let (subwindows, records, population) = match cli.scale {
+        Scale::Tiny | Scale::Small => (8u32, 2_500u32, 1_024u32),
+        Scale::Paper => (12u32, 10_000u32, 4_096u32),
+    };
+    let window_span = 4usize;
+    let batches = cr_workload(subwindows, records, population, cli.seed);
+    let total = u64::from(subwindows) * u64::from(records);
+    let baseline = load_baseline();
+
+    eprintln!(
+        "running bench_snapshot: {subwindows} sub-windows × {records} AFRs, obs off/on, \
+         shards 1/2/4/8 (best of 3)…"
+    );
+
+    let mut rows = Vec::new();
+    let mut off_total = 0.0f64;
+    let mut on_total = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let off = best_of_3(&batches, shards, window_span, false);
+        let on = best_of_3(&batches, shards, window_span, true);
+        off_total += off;
+        on_total += on;
+        rows.push(OverheadRow {
+            shards,
+            records: total,
+            off_records_per_sec: total as f64 / off,
+            on_records_per_sec: total as f64 / on,
+            overhead_pct: (on - off) / off * 100.0,
+            baseline_records_per_sec: baseline
+                .iter()
+                .find(|(s, _)| *s == shards as u64)
+                .map(|(_, r)| *r),
+        });
+    }
+    let aggregate_overhead_pct = (on_total - off_total) / off_total * 100.0;
+
+    // The traced smoke run: same scenario the e2e tests pin down.
+    let smoke = obs_smoke::run(&ObsSmokeConfig::default());
+    let report = TraceReport::capture(
+        "bench_snapshot",
+        smoke.obs.tracer(),
+        Some(Duration::from_millis(10)),
+    );
+    let stats = SmokeStats {
+        merged_flows: smoke.merged_flows as u64,
+        sessions: smoke
+            .obs
+            .snapshot()
+            .value("ow_controller_sessions_total", &[]),
+        traces: report.traces.len() as u64,
+        spans: report.traces.iter().map(|t| t.spans.len() as u64).sum(),
+        slo_violations: report
+            .traces
+            .iter()
+            .filter(|t| t.critical_path.slo_violated)
+            .count() as u64,
+    };
+
+    println!("bench_snapshot: obs + span-tracing overhead per shard count\n");
+    println!(
+        "  {:>6} {:>14} {:>14} {:>10} {:>16}",
+        "shards", "off rec/s", "on rec/s", "overhead", "PR3 baseline"
+    );
+    for r in &rows {
+        println!(
+            "  {:>6} {:>14.0} {:>14.0} {:>9.1}% {:>16}",
+            r.shards,
+            r.off_records_per_sec,
+            r.on_records_per_sec,
+            r.overhead_pct,
+            r.baseline_records_per_sec
+                .map(|b| format!("{b:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "\n  aggregate overhead: {aggregate_overhead_pct:.1}%  \
+         (smoke: {} traces, {} spans, {} SLO violation(s))",
+        stats.traces, stats.spans, stats.slo_violations
+    );
+
+    let result = Bench5 {
+        run: "bench_snapshot".to_string(),
+        subwindows,
+        records_per_subwindow: records,
+        window_span,
+        rows,
+        aggregate_overhead_pct,
+        obs_smoke: stats,
+    };
+    cli.dump(&result);
+
+    if aggregate_overhead_pct >= 10.0 {
+        eprintln!(
+            "bench_snapshot: FAIL — obs+tracing overhead {aggregate_overhead_pct:.1}% \
+             breaches the 10% budget"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,16 +1,20 @@
 //! Observability smoke run: a short instrumented lossy C&R pipeline
 //! (verified switch → lossy channel → sharded reliable controller, one
 //! shared `ow-obs` registry throughout), whose snapshot lands in
-//! `results/obs_smoke.json` (override with `--json <path>`).
+//! `results/obs_smoke.json` (override with `--json <path>`) and whose
+//! causal span traces land in `results/trace_smoke.json` (override with
+//! `--trace-json <path>`).
 //!
-//! The binary self-checks the Prometheus exposition line format and
-//! exits nonzero if it is malformed, so CI can gate on it.
+//! The binary self-checks the Prometheus exposition line format and the
+//! span-trace JSON schema and exits nonzero if either is malformed, so
+//! CI can gate on both.
 
 use std::path::Path;
 
 use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
 use ow_bench::Cli;
-use ow_obs::{check_exposition, prometheus_text, Event};
+use ow_common::time::Duration;
+use ow_obs::{check_exposition, prometheus_text, validate_trace_json, Event, TraceReport};
 
 fn main() {
     let cli = Cli::parse();
@@ -69,4 +73,47 @@ fn main() {
         std::process::exit(1);
     }
     cli.progress(format!("snapshot written to {path}"));
+
+    // The span traces: one causal tree per collected window, with its
+    // critical path judged against a 10ms window-latency SLO — tight
+    // enough that the deterministically escalated session (40ms OS
+    // read) flags a violation on every run.
+    let traces = TraceReport::capture(
+        "obs_smoke",
+        out.obs.tracer(),
+        Some(Duration::from_millis(10)),
+    );
+    let doc = match ow_obs::json::parse(&traces.to_json()) {
+        Ok(doc) => doc,
+        Err(e) => {
+            cli.obs
+                .event(Event::new("trace_error", format!("trace JSON unparsable: {e}")).warn());
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = validate_trace_json(&doc) {
+        cli.obs
+            .event(Event::new("trace_error", format!("trace schema invalid: {e}")).warn());
+        std::process::exit(1);
+    }
+    let violations = traces
+        .traces
+        .iter()
+        .filter(|t| t.critical_path.slo_violated)
+        .count();
+    println!(
+        "  traces: {} window(s), {} SLO violation(s) at 10ms",
+        traces.traces.len(),
+        violations
+    );
+    let trace_path = cli
+        .trace_json
+        .clone()
+        .unwrap_or_else(|| "results/trace_smoke.json".to_string());
+    if let Err(e) = traces.write(Path::new(&trace_path)) {
+        cli.obs
+            .event(Event::new("dump_error", format!("failed to write {trace_path}: {e}")).warn());
+        std::process::exit(1);
+    }
+    cli.progress(format!("span traces written to {trace_path}"));
 }

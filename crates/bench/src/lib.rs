@@ -18,6 +18,9 @@ pub struct Cli {
     pub scale: Scale,
     /// Optional JSON dump path (`--json <path>`).
     pub json: Option<String>,
+    /// Optional span-trace report path (`--trace-json <path>`), for
+    /// binaries that capture an `ow_obs::TraceReport`.
+    pub trace_json: Option<String>,
     /// RNG seed (`--seed <n>`).
     pub seed: u64,
     /// Process-wide observability handle. The journal's console sink is
@@ -50,6 +53,7 @@ impl Cli {
         let mut cli = Cli {
             scale: Scale::Paper,
             json: None,
+            trace_json: None,
             seed: 0xCA1DA,
             obs,
         };
@@ -61,6 +65,10 @@ impl Cli {
                     i += 1;
                     cli.json = args.get(i).cloned();
                 }
+                "--trace-json" => {
+                    i += 1;
+                    cli.trace_json = args.get(i).cloned();
+                }
                 "--seed" => {
                     i += 1;
                     cli.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(cli.seed);
@@ -70,7 +78,8 @@ impl Cli {
                         Event::new(
                             "cli_error",
                             format!(
-                                "unknown flag '{other}' (known: --small --json <path> --seed <n>)"
+                                "unknown flag '{other}' (known: --small --json <path> \
+                                 --seed <n> --trace-json <path>)"
                             ),
                         )
                         .warn(),
@@ -118,6 +127,35 @@ pub fn pct(v: f64) -> String {
     format!("{:5.1}%", v * 100.0)
 }
 
+/// The deterministic C&R merge workload shared by `bench_cr` and
+/// `bench_snapshot`: `subwindows` batches of `records` sequenced AFRs
+/// over a `population`-key space, values mixed so every shard count and
+/// every run replays exactly the same records.
+pub fn cr_workload(
+    subwindows: u32,
+    records: u32,
+    population: u32,
+    seed: u64,
+) -> Vec<Vec<ow_common::afr::FlowRecord>> {
+    use ow_common::afr::FlowRecord;
+    use ow_common::flowkey::FlowKey;
+    (0..subwindows)
+        .map(|sw| {
+            (0..records)
+                .map(|i| {
+                    let mix = (u64::from(i))
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(u64::from(sw).wrapping_mul(seed | 1));
+                    let key = (mix >> 16) as u32 % population;
+                    let mut r = FlowRecord::frequency(FlowKey::src_ip(key), (mix & 0x3FF) + 1, sw);
+                    r.seq = i;
+                    r
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,11 +169,20 @@ mod tests {
 
     #[test]
     fn known_flags_parse() {
-        let cli = Cli::try_parse_from(argv(&["--small", "--seed", "42", "--json", "out.json"]))
-            .expect("known flags parse");
+        let cli = Cli::try_parse_from(argv(&[
+            "--small",
+            "--seed",
+            "42",
+            "--json",
+            "out.json",
+            "--trace-json",
+            "trace.json",
+        ]))
+        .expect("known flags parse");
         assert_eq!(cli.scale, Scale::Small);
         assert_eq!(cli.seed, 42);
         assert_eq!(cli.json.as_deref(), Some("out.json"));
+        assert_eq!(cli.trace_json.as_deref(), Some("trace.json"));
     }
 
     #[test]

@@ -53,6 +53,17 @@ impl Instant {
     pub const fn signed_since(self, other: Instant) -> i64 {
         self.0 as i64 - other.0 as i64
     }
+
+    /// Advance by `d`, saturating at the end of representable time.
+    ///
+    /// The `+` operator is unchecked (debug-panics on overflow), which
+    /// is the right default for clock arithmetic mid-trace — but the
+    /// switch's final `flush()` stamps its synthetic termination at
+    /// `Instant::from_nanos(u64::MAX)`, and span timelines built on top
+    /// of that instant must clamp instead of panic.
+    pub const fn saturating_add(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_add(d.0))
+    }
 }
 
 impl Duration {
@@ -102,6 +113,12 @@ impl Duration {
     /// Integer division of spans (how many `other` fit in `self`).
     pub const fn div_duration(self, other: Duration) -> u64 {
         self.0 / other.0
+    }
+
+    /// Add two spans, saturating at the maximum representable span
+    /// (see [`Instant::saturating_add`] for when this matters).
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -206,6 +223,21 @@ mod tests {
         let b = Instant::from_micros(25);
         assert_eq!(a.signed_since(b), -15_000);
         assert_eq!(b.signed_since(a), 15_000);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_end_of_time() {
+        let end = Instant::from_nanos(u64::MAX);
+        assert_eq!(end.saturating_add(Duration::from_millis(40)), end);
+        let t = Instant::from_millis(1);
+        assert_eq!(
+            t.saturating_add(Duration::from_millis(2)),
+            Instant::from_millis(3)
+        );
+        assert_eq!(
+            Duration::from_nanos(u64::MAX).saturating_add(Duration::from_nanos(1)),
+            Duration::from_nanos(u64::MAX)
+        );
     }
 
     #[test]

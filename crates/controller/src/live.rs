@@ -41,7 +41,7 @@ use ow_common::flowkey::FlowKey;
 use ow_common::hash::ShardPartition;
 use ow_common::metrics::ReliabilityMetrics;
 use ow_common::time::Duration;
-use ow_obs::{Counter, Event, Gauge, Obs};
+use ow_obs::{Counter, Event, Gauge, Obs, TraceContext, Traced};
 
 use crate::collector::CollectionSession;
 use crate::reliability::{FnTransport, ReliabilityDriver, RetryPolicy};
@@ -437,6 +437,21 @@ pub enum ReliableMsg {
         /// The sub-window whose stream ended.
         subwindow: u32,
     },
+    /// [`ReliableMsg::Announce`] carrying the window's wire-propagated
+    /// [`TraceContext`], so the controller's recovery and merge spans
+    /// join the originating window's causal tree.
+    TracedAnnounce {
+        /// The terminated sub-window.
+        subwindow: u32,
+        /// How many AFRs its batch holds.
+        announced: u32,
+        /// The window's span-tracing context.
+        ctx: TraceContext,
+    },
+    /// One AFR report clone wrapped with its [`TraceContext`]. Every
+    /// clone carries the context, so any copy that survives the lossy
+    /// channel delivers it — even when the announcement itself was lost.
+    TracedAfr(Traced<FlowRecord>),
     /// End of input: finalize every open session, then exit.
     Shutdown,
 }
@@ -555,6 +570,9 @@ impl ReliableLiveController {
             let mut sessions: HashMap<u32, (CollectionSession, ReliabilityMetrics)> =
                 HashMap::new();
             let mut early: HashMap<u32, Vec<FlowRecord>> = HashMap::new();
+            // Trace contexts learned from the wire (traced announcements
+            // or any surviving traced AFR clone), consumed at finalize.
+            let mut ctxs: HashMap<u32, TraceContext> = HashMap::new();
 
             let feed = |entry: &mut (CollectionSession, ReliabilityMetrics), rec: FlowRecord| {
                 let before = entry.0.received();
@@ -569,6 +587,7 @@ impl ReliableLiveController {
 
             let mut finalize = |subwindow: u32,
                                 entry: (CollectionSession, ReliabilityMetrics),
+                                ctx: Option<TraceContext>,
                                 total: &mut ReliabilityMetrics,
                                 engine: &mut WindowEngine,
                                 merged_order: &mut VecDeque<u32>| {
@@ -607,7 +626,65 @@ impl ReliableLiveController {
                 // The session's FSM arrives at Merged through the §8
                 // loop; the engine tracks it until slide-eviction.
                 engine.insert(*session.fsm());
-                pool.insert(subwindow, session.into_batch());
+                let batch = session.into_batch();
+                // Reconstruct the recovery timeline into the window's
+                // causal trace. `complete_session` accumulates the exact
+                // same quantities into `wall_clock` (one backoff timeout
+                // per round, then any charged OS-read latency), so the
+                // spans below tile the session's virtual-clock interval
+                // precisely, anchored at the switch-side batch instant.
+                if let (Some(o), Some(ctx)) = (&session_obs, ctx) {
+                    let tracer = o.tracer().clone();
+                    let mut t = ctx.anchor_ns;
+                    for round in 1..=metrics.retransmit_rounds {
+                        let timeout = driver.policy().timeout_for_round(round as u32).as_nanos();
+                        tracer.span(
+                            ctx.trace_id,
+                            ctx.collect,
+                            "retransmit_round",
+                            "controller",
+                            None,
+                            t,
+                            t.saturating_add(timeout),
+                        );
+                        t = t.saturating_add(timeout);
+                    }
+                    let end = ctx.anchor_ns.saturating_add(metrics.wall_clock.as_nanos());
+                    if metrics.escalations > 0 {
+                        tracer.span(
+                            ctx.trace_id,
+                            ctx.root,
+                            "os_read",
+                            "controller",
+                            None,
+                            t,
+                            end,
+                        );
+                    }
+                    if let Some(merge) = tracer.span(
+                        ctx.trace_id,
+                        ctx.root,
+                        "merge",
+                        "controller",
+                        None,
+                        end,
+                        end,
+                    ) {
+                        for shard in 0..pool.partition.shards() {
+                            tracer.span(
+                                ctx.trace_id,
+                                merge,
+                                "shard_insert",
+                                "controller",
+                                Some(shard as u32),
+                                end,
+                                end,
+                            );
+                        }
+                    }
+                    tracer.finish_window(ctx.trace_id, end);
+                }
+                pool.insert(subwindow, batch);
                 merged_order.push_back(subwindow);
                 while merged_order.len() > window_subwindows {
                     let oldest = merged_order.pop_front().expect("non-empty");
@@ -619,6 +696,26 @@ impl ReliableLiveController {
             };
 
             while let Ok(msg) = rx.recv() {
+                // A traced message is its plain counterpart plus a
+                // context to remember; unwrap it before dispatch.
+                let msg = match msg {
+                    ReliableMsg::TracedAnnounce {
+                        subwindow,
+                        announced,
+                        ctx,
+                    } => {
+                        ctxs.insert(subwindow, ctx);
+                        ReliableMsg::Announce {
+                            subwindow,
+                            announced,
+                        }
+                    }
+                    ReliableMsg::TracedAfr(traced) => {
+                        ctxs.entry(traced.payload.subwindow).or_insert(traced.ctx);
+                        ReliableMsg::Afr(traced.payload)
+                    }
+                    other => other,
+                };
                 match msg {
                     ReliableMsg::Announce {
                         subwindow,
@@ -641,8 +738,19 @@ impl ReliableLiveController {
                     },
                     ReliableMsg::EndOfStream { subwindow } => {
                         if let Some(entry) = sessions.remove(&subwindow) {
-                            finalize(subwindow, entry, &mut total, &mut engine, &mut merged_order);
+                            let ctx = ctxs.remove(&subwindow);
+                            finalize(
+                                subwindow,
+                                entry,
+                                ctx,
+                                &mut total,
+                                &mut engine,
+                                &mut merged_order,
+                            );
                         }
+                    }
+                    ReliableMsg::TracedAnnounce { .. } | ReliableMsg::TracedAfr(_) => {
+                        unreachable!("traced messages are unwrapped above")
                     }
                     ReliableMsg::Shutdown => break,
                 }
@@ -653,7 +761,8 @@ impl ReliableLiveController {
                 sessions.drain().collect();
             rest.sort_by_key(|(sw, _)| *sw);
             for (sw, entry) in rest {
-                finalize(sw, entry, &mut total, &mut engine, &mut merged_order);
+                let ctx = ctxs.remove(&sw);
+                finalize(sw, entry, ctx, &mut total, &mut engine, &mut merged_order);
             }
             pool.shutdown();
             total.dropped += dropped.load(Ordering::Relaxed);
@@ -1111,6 +1220,88 @@ mod tests {
         assert_eq!(complete.len(), 3);
         assert_eq!(complete[0].subwindow, Some(0));
         assert_eq!(complete[0].phase.as_deref(), Some("merged"));
+    }
+
+    #[test]
+    fn traced_messages_stitch_recovery_spans_into_the_window_trace() {
+        let obs = Obs::new();
+        let tracer = obs.tracer().clone();
+        // Simulate the switch side: open the window's trace and record
+        // its collect span, as `Switch::run_collection` does.
+        let trace = tracer.start_window(7, "switch", 1_000);
+        let collect = tracer
+            .span(trace, trace, "collect", "switch", None, 1_000, 2_000)
+            .expect("collect span under a live trace");
+        let ctx = TraceContext {
+            trace_id: trace,
+            root: trace,
+            collect,
+            anchor_ns: 2_500,
+        };
+        let store = seq_batch(7, 6);
+        let retrans = store.clone();
+        let ctl = ReliableLiveController::spawn_sharded_obs(
+            1,
+            64,
+            RetryPolicy::default(),
+            Box::new(move |_, seqs| seqs.iter().map(|&s| retrans[s as usize]).collect()),
+            Box::new(|_| panic!("no escalation expected")),
+            2,
+            Some(&obs),
+        );
+        ctl.sender
+            .send(ReliableMsg::TracedAnnounce {
+                subwindow: 7,
+                announced: 6,
+                ctx,
+            })
+            .unwrap();
+        // A lossy stream of traced clones; the end-of-stream mark is
+        // lost, so shutdown finalizes the session.
+        for rec in store.iter().filter(|r| r.seq % 2 == 0) {
+            ctl.sender
+                .send(ReliableMsg::TracedAfr(Traced::new(ctx, *rec)))
+                .unwrap();
+        }
+        let metrics = ctl.join();
+        assert!(metrics.retransmit_rounds >= 1, "lossy run must retransmit");
+
+        let report = ow_obs::TraceReport::capture("test", &tracer, None);
+        assert_eq!(report.traces.len(), 1);
+        let summary = &report.traces[0];
+        let spans = &summary.spans;
+        // Recovery rounds parent to the originating collect span and
+        // tile the backoff schedule from the anchor.
+        let rounds: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "retransmit_round")
+            .collect();
+        assert_eq!(rounds.len() as u64, metrics.retransmit_rounds);
+        assert!(rounds.iter().all(|s| s.parent == Some(collect)));
+        assert_eq!(rounds[0].start_ns, 2_500);
+        // One merge span under the root fans out to one shard_insert
+        // per shard.
+        let merge = spans
+            .iter()
+            .find(|s| s.name == "merge")
+            .expect("merge span recorded");
+        assert_eq!(merge.parent, Some(trace));
+        let inserts: Vec<_> = spans.iter().filter(|s| s.name == "shard_insert").collect();
+        assert_eq!(inserts.len(), 2);
+        assert!(inserts.iter().all(|s| s.parent == Some(merge.id)));
+        assert_eq!(
+            inserts.iter().filter_map(|s| s.shard).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        // The root span was extended to cover the whole recovery.
+        let root = spans.iter().find(|s| s.id == trace).expect("root span");
+        assert_eq!(
+            root.end_ns,
+            2_500 + metrics.wall_clock.as_nanos(),
+            "root covers anchor + recovery wall clock"
+        );
+        // No escalation happened, so no os_read span exists.
+        assert!(spans.iter().all(|s| s.name != "os_read"));
     }
 
     #[test]

@@ -164,17 +164,38 @@ pub fn run(cfg: &ObsSmokeConfig) -> ObsSmokeOutcome {
     // Stream every batch through the lossy channel. On top of the
     // seeded random loss, one AFR per sub-window is force-dropped so
     // the recovery loop provably runs for every session at any seed.
+    // Every message carries the window's wire-propagated trace context
+    // (the switch minted one per retained batch), so the controller's
+    // recovery spans stitch into the switch-side causal tree even when
+    // the announcement itself is dropped.
     let mut channel = LossyChannel::new(FaultConfig::afr_loss(cfg.seed, cfg.loss));
     for (subwindow, afrs) in &batches {
-        ctl.sender
-            .send(ReliableMsg::Announce {
-                subwindow: *subwindow,
-                announced: afrs.len() as u32,
-            })
-            .unwrap();
-        let delivered = channel.transmit(PacketClass::AfrReport, afrs.clone());
-        for rec in delivered.into_iter().filter(|r| r.seq != 0) {
-            ctl.sender.send(ReliableMsg::Afr(rec)).unwrap();
+        match sw.trace_context(*subwindow) {
+            Some(ctx) => {
+                ctl.sender
+                    .send(ReliableMsg::TracedAnnounce {
+                        subwindow: *subwindow,
+                        announced: afrs.len() as u32,
+                        ctx,
+                    })
+                    .unwrap();
+                let delivered = channel.transmit_traced(PacketClass::AfrReport, ctx, afrs.clone());
+                for t in delivered.into_iter().filter(|t| t.payload.seq != 0) {
+                    ctl.sender.send(ReliableMsg::TracedAfr(t)).unwrap();
+                }
+            }
+            None => {
+                ctl.sender
+                    .send(ReliableMsg::Announce {
+                        subwindow: *subwindow,
+                        announced: afrs.len() as u32,
+                    })
+                    .unwrap();
+                let delivered = channel.transmit(PacketClass::AfrReport, afrs.clone());
+                for rec in delivered.into_iter().filter(|r| r.seq != 0) {
+                    ctl.sender.send(ReliableMsg::Afr(rec)).unwrap();
+                }
+            }
         }
         ctl.sender
             .send(ReliableMsg::EndOfStream {

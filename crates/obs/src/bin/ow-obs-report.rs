@@ -1,18 +1,27 @@
-//! `ow-obs-report` — render a `results/obs_*.json` snapshot as
-//! human-readable tables.
+//! `ow-obs-report` — render a `results/obs_*.json` snapshot or a
+//! `results/trace_*.json` span-trace report as human-readable tables.
 //!
 //! ```text
 //! ow-obs-report results/obs_smoke.json [--events N] [--prometheus]
+//! ow-obs-report results/trace_smoke.json
 //! ```
 //!
-//! Prints the run's counters/gauges, histogram percentiles (virtual
-//! nanoseconds), and the retained journal tail. `--prometheus` instead
-//! re-reads just the registry and prints nothing but the text
-//! exposition (handy for piping into format checkers).
+//! For a metrics snapshot, prints the run's counters/gauges, histogram
+//! percentiles (virtual nanoseconds), and the retained journal tail;
+//! `--prometheus` instead re-reads just the registry and prints nothing
+//! but the text exposition (handy for piping into format checkers).
+//!
+//! A document carrying a `traces` field is treated as an
+//! `ow_obs::TraceReport`: it is first checked against the span schema
+//! (single root, no orphans, `parent < id`, non-empty critical-path
+//! chains — exit nonzero on any violation, so CI can gate on it), then
+//! rendered as one indented per-window span timeline each, with the
+//! critical path and SLO verdict on top.
 
 use std::process::ExitCode;
 
 use ow_obs::json::{parse, ValueExt};
+use ow_obs::validate_trace_json;
 use serde::Value;
 
 fn main() -> ExitCode {
@@ -53,6 +62,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if doc.field("traces").is_some() {
+        if let Err(e) = validate_trace_json(&doc) {
+            eprintln!("ow-obs-report: invalid trace report: {e}");
+            return ExitCode::FAILURE;
+        }
+        return match render_traces(&doc) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ow-obs-report: malformed trace report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match render(&doc, events_shown, prometheus) {
         Ok(out) => {
             print!("{out}");
@@ -63,6 +88,98 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Render a validated trace report as per-window span timelines.
+fn render_traces(doc: &Value) -> Result<String, String> {
+    let run = doc.field("run").and_then(Value::as_str).unwrap_or("?");
+    let traces = doc
+        .field("traces")
+        .and_then(Value::items)
+        .ok_or("missing traces")?;
+    let mut out = String::new();
+    out.push_str(&format!("run: {run} — {} window trace(s)\n", traces.len()));
+    if let Some(slo) = doc.field("slo_deadline_ns").and_then(Value::as_u64) {
+        out.push_str(&format!("SLO deadline: {slo}ns\n"));
+    }
+    for trace in traces {
+        let sw = trace
+            .field("subwindow")
+            .and_then(Value::as_u64)
+            .ok_or("trace without subwindow")?;
+        let id = trace
+            .field("trace_id")
+            .and_then(Value::as_u64)
+            .ok_or("trace without trace_id")?;
+        let spans = trace
+            .field("spans")
+            .and_then(Value::items)
+            .ok_or("trace without spans")?;
+        out.push_str(&format!("\n== sub-window {sw} (trace {id}) ==\n"));
+        if let Some(cp) = trace.field("critical_path") {
+            let wall = cp.field("wall_ns").and_then(Value::as_u64).unwrap_or(0);
+            let attr = cp
+                .field("attributed_permille")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            let violated = matches!(cp.field("slo_violated"), Some(Value::Bool(true)));
+            let chain: Vec<&str> = cp
+                .field("chain")
+                .and_then(Value::items)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(Value::as_str)
+                .collect();
+            out.push_str(&format!(
+                "critical path: {} — wall {wall}ns, {attr}‰ attributed{}\n",
+                chain.join(" → "),
+                if violated { ", SLO VIOLATED" } else { "" }
+            ));
+        }
+        render_span_tree(spans, None, 0, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Append `parent`'s children (in span-id order) at `depth`, recursing.
+fn render_span_tree(
+    spans: &[Value],
+    parent: Option<u64>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), String> {
+    for s in spans {
+        let this_parent = s.field("parent").and_then(Value::as_u64);
+        if this_parent != parent || (parent.is_none() && s.field("parent").is_some_and(is_set)) {
+            continue;
+        }
+        let id = s
+            .field("id")
+            .and_then(Value::as_u64)
+            .ok_or("span sans id")?;
+        let name = s.field("name").and_then(Value::as_str).unwrap_or("?");
+        let side = s.field("side").and_then(Value::as_str).unwrap_or("?");
+        let start = s.field("start_ns").and_then(Value::as_u64).unwrap_or(0);
+        let end = s.field("end_ns").and_then(Value::as_u64).unwrap_or(0);
+        let shard = s
+            .field("shard")
+            .and_then(Value::as_u64)
+            .map(|sh| format!(" shard={sh}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{:indent$}{name} [{side}{shard}]  {start}..{end}  ({}ns)\n",
+            "",
+            end.saturating_sub(start),
+            indent = 2 + depth * 2,
+        ));
+        render_span_tree(spans, Some(id), depth + 1, out)?;
+    }
+    Ok(())
+}
+
+/// Whether a JSON value is present and non-null.
+fn is_set(v: &Value) -> bool {
+    !matches!(v, Value::Null)
 }
 
 fn usage(msg: &str) -> ExitCode {

@@ -187,6 +187,9 @@ pub struct ObsReport {
     pub registry: RegistrySnapshot,
     /// Total journal events recorded (the ring may retain fewer).
     pub events_recorded: u64,
+    /// Events the bounded ring discarded (also surfaced as the
+    /// `ow_obs_journal_dropped_total` counter in `registry`).
+    pub events_dropped: u64,
     /// The retained journal tail, oldest first.
     pub events: Vec<Event>,
 }
@@ -202,6 +205,7 @@ impl ObsReport {
             run: run.to_string(),
             registry: registry.snapshot(),
             events_recorded: journal.total_recorded(),
+            events_dropped: journal.dropped_total(),
             events: journal.events(),
         }
     }

@@ -135,8 +135,10 @@ struct JournalInner {
     ring: VecDeque<Event>,
     capacity: usize,
     next_seq: u64,
+    dropped: u64,
     console: bool,
     jsonl: Option<Box<dyn Write + Send>>,
+    drop_counter: Option<crate::registry::Counter>,
 }
 
 /// The bounded, sink-teeing event journal (interior-mutable; share via
@@ -170,8 +172,10 @@ impl EventJournal {
                 ring: VecDeque::new(),
                 capacity: capacity.max(1),
                 next_seq: 0,
+                dropped: 0,
                 console: false,
                 jsonl: None,
+                drop_counter: None,
             }),
         }
     }
@@ -186,6 +190,13 @@ impl EventJournal {
     /// object per line.
     pub fn set_jsonl_sink(&self, sink: Box<dyn Write + Send>) {
         self.inner.lock().jsonl = Some(sink);
+    }
+
+    /// Attach the `ow_obs_journal_dropped_total` counter (wired by
+    /// [`crate::Obs::new`]) so ring overflow is visible in the
+    /// Prometheus exposition and JSON snapshots, not silent.
+    pub fn set_drop_counter(&self, counter: crate::registry::Counter) {
+        self.inner.lock().drop_counter = Some(counter);
     }
 
     /// Record one event, stamping its sequence number; returns the
@@ -205,6 +216,10 @@ impl EventJournal {
         }
         if inner.ring.len() == inner.capacity {
             inner.ring.pop_front();
+            inner.dropped += 1;
+            if let Some(c) = inner.drop_counter.as_ref() {
+                c.inc();
+            }
         }
         inner.ring.push_back(event);
         seq
@@ -225,6 +240,11 @@ impl EventJournal {
     pub fn total_recorded(&self) -> u64 {
         self.inner.lock().next_seq
     }
+
+    /// Events discarded by the bounded ring (oldest-first eviction).
+    pub fn dropped_total(&self) -> u64 {
+        self.inner.lock().dropped
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +263,31 @@ mod tests {
         assert_eq!(evs[0].seq, 2, "oldest retained is the third recorded");
         assert_eq!(evs[2].seq, 4);
         assert_eq!(evs[2].message, "event 4");
+    }
+
+    #[test]
+    fn overfilling_counts_every_dropped_event() {
+        let j = EventJournal::with_capacity(2);
+        assert_eq!(j.dropped_total(), 0);
+        for i in 0..7 {
+            j.record(Event::new("tick", format!("event {i}")));
+        }
+        assert_eq!(j.dropped_total(), 5, "7 recorded minus 2 retained");
+        assert_eq!(j.total_recorded(), 7);
+        assert_eq!(j.events().len(), 2);
+    }
+
+    #[test]
+    fn drop_counter_mirrors_ring_eviction() {
+        let c = crate::registry::Counter::default();
+        let j = EventJournal::with_capacity(1);
+        j.set_drop_counter(c.clone());
+        j.record(Event::new("a", ""));
+        assert_eq!(c.get(), 0, "first event fits");
+        j.record(Event::new("b", ""));
+        j.record(Event::new("c", ""));
+        assert_eq!(c.get(), 2);
+        assert_eq!(j.dropped_total(), 2);
     }
 
     #[test]

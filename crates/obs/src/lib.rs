@@ -13,18 +13,23 @@
 //! * Exporters ([`export`]) — Prometheus text exposition with a
 //!   line-format checker, plus `results/obs_*.json` snapshot reports
 //!   rendered by the `ow-obs-report` binary.
+//! * [`Tracer`] ([`span`]) — causal span tracing: per-window span
+//!   trees on the virtual clock, stitched across the lossy channel by
+//!   a wire-propagated [`TraceContext`], analysed by
+//!   [`critical_path`] and exported as `results/trace_*.json`.
 //!
-//! [`Obs`] bundles one registry and one journal into a cheap-clone
-//! handle that threads through the switch, controller, and topology
-//! builder. [`Obs::engine_sink`] adapts the handle onto
+//! [`Obs`] bundles one registry, one journal, and one tracer into a
+//! cheap-clone handle that threads through the switch, controller, and
+//! topology builder. [`Obs::engine_sink`] adapts the handle onto
 //! [`ow_common::engine::TransitionSink`] so every `WindowEngine`
-//! transition — including rejected drift — lands in both the registry
-//! and the journal.
+//! transition — including rejected drift — lands in the registry, the
+//! journal, and (when the window has an active trace) the span tree.
 
 pub mod export;
 pub mod journal;
 pub mod json;
 pub mod registry;
+pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,20 +42,54 @@ pub use journal::{Event, EventJournal, Level};
 pub use registry::{
     validate_metric_name, Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot,
 };
+pub use span::{
+    critical_path, validate_trace_json, CriticalPath, PhaseMark, Span, TraceContext, TraceReport,
+    TraceSummary, Traced, Tracer,
+};
 
-/// The combined observability handle: one metrics registry plus one
-/// event journal. Cheap to clone (two `Arc`s); every clone observes the
-/// same run.
-#[derive(Debug, Clone, Default)]
+/// The combined observability handle: one metrics registry, one event
+/// journal, one span tracer. Cheap to clone (three `Arc`s); every clone
+/// observes the same run.
+#[derive(Debug, Clone)]
 pub struct Obs {
     registry: Arc<MetricsRegistry>,
     journal: Arc<EventJournal>,
+    tracer: Arc<Tracer>,
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::new()
+    }
 }
 
 impl Obs {
-    /// A fresh registry + journal pair.
+    /// A fresh registry + journal + tracer triple, with the crate's own
+    /// health metrics pre-registered: `ow_obs_journal_dropped_total`
+    /// (events the bounded journal ring discarded) and
+    /// `ow_obs_spans_total` (spans recorded by the tracer).
     pub fn new() -> Obs {
-        Obs::default()
+        Obs::with_journal_capacity(journal::DEFAULT_CAPACITY)
+    }
+
+    /// Like [`Obs::new`] with an explicit journal ring capacity
+    /// (tests overfill a tiny ring to exercise the drop counter).
+    pub fn with_journal_capacity(capacity: usize) -> Obs {
+        let registry = Arc::new(MetricsRegistry::new());
+        let journal = Arc::new(EventJournal::with_capacity(capacity));
+        let tracer = Arc::new(Tracer::new());
+        journal.set_drop_counter(registry.counter("ow_obs_journal_dropped_total", &[]));
+        tracer.set_span_counter(registry.counter("ow_obs_spans_total", &[]));
+        Obs {
+            registry,
+            journal,
+            tracer,
+        }
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The metrics registry.
@@ -156,6 +195,9 @@ impl TransitionSink for EngineObserver {
                 if to == WindowPhase::Released {
                     self.released.inc();
                 }
+                self.obs
+                    .tracer
+                    .mark(t.subwindow, &self.side, t.event, t.from.name(), to.name());
                 self.obs.event(
                     Event::new(
                         "fsm_transition",
@@ -233,6 +275,46 @@ mod tests {
         let drift = events.iter().find(|e| e.kind == "drift_detected").unwrap();
         assert_eq!(drift.level, Level::Warn);
         assert_eq!(drift.subwindow, Some(3));
+    }
+
+    #[test]
+    fn journal_overflow_surfaces_in_snapshot_exposition_and_report() {
+        let obs = Obs::with_journal_capacity(4);
+        for i in 0..10 {
+            obs.event(Event::new("tick", format!("event {i}")));
+        }
+        // 10 recorded into a 4-slot ring: 6 dropped, visible everywhere.
+        let snap = obs.snapshot();
+        assert_eq!(snap.value("ow_obs_journal_dropped_total", &[]), 6);
+        let text = crate::prometheus_text(&snap);
+        assert!(text.contains("ow_obs_journal_dropped_total 6"), "{text}");
+        let report = obs.report("unit");
+        assert_eq!(report.events_dropped, 6);
+        assert_eq!(report.events_recorded, 10);
+        assert_eq!(report.events.len(), 4);
+        assert!(
+            report.to_json().contains("\"events_dropped\": 6"),
+            "JSON snapshot carries the drop count"
+        );
+    }
+
+    #[test]
+    fn engine_sink_marks_transitions_into_the_active_trace() {
+        let obs = Obs::new();
+        obs.tracer().start_window(3, "controller", 0);
+        let mut engine = WindowEngine::new();
+        engine.set_sink(obs.engine_sink("controller"));
+        engine.insert(WindowFsm::announced(3, 5));
+        engine.apply(3, WindowEvent::StreamComplete).unwrap();
+        engine.apply(3, WindowEvent::Acked).unwrap();
+        let report = TraceReport::capture("unit", obs.tracer(), None);
+        let events: Vec<&str> = report.traces[0]
+            .transitions
+            .iter()
+            .map(|m| m.event.as_str())
+            .collect();
+        assert_eq!(events, vec!["stream_complete", "acked"]);
+        assert_eq!(report.traces[0].transitions[0].to, "merged");
     }
 
     #[test]

@@ -179,6 +179,23 @@ fn bucket_bound(i: usize) -> u64 {
 
 /// A fixed-bucket log2 histogram handle over virtual-clock durations
 /// (or any u64 value).
+///
+/// # Saturation
+///
+/// The top bucket (index 63, upper bound `2^63`) also absorbs every
+/// value above `2^63` — there is no separate overflow bucket. Near and
+/// at saturation the quantile error bounds are:
+///
+/// * below the top bucket, a quantile over-reports its true value by at
+///   most 2× (it reads the bucket's upper bound, and log2 buckets span
+///   `(2^(i-1), 2^i]`);
+/// * once the rank falls in the saturated top bucket, `p50`/`p99` read
+///   `2^63` no matter how far above it the actual values lie, so the
+///   error is unbounded in the *under*-reporting direction — treat a
+///   `2^63` percentile as "≥ 2^63", not a measurement.
+///
+/// `sum` still accumulates exact values (wrapping on u64 overflow), so
+/// the mean stays meaningful long after the percentiles saturate.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(Arc<HistogramCore>);
 
@@ -188,9 +205,10 @@ impl Histogram {
         self.record_value(d.as_nanos());
     }
 
-    /// Record one raw value.
+    /// Record one raw value. Values above `2^63` saturate into the top
+    /// bucket (see the type-level *Saturation* notes).
     pub fn record_value(&self, v: u64) {
-        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.buckets[bucket_of(v).min(HISTOGRAM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(v, Ordering::Relaxed);
     }
@@ -530,6 +548,26 @@ mod tests {
         assert_eq!(h.quantile(0.99), Some(1 << 20));
         assert_eq!(h.quantile(1.0), Some(1 << 20));
         assert_eq!(h.quantile(0.0), Some(128), "q=0 reads the first value");
+    }
+
+    #[test]
+    fn values_above_the_top_bucket_saturate_without_panic() {
+        let h = Histogram::default();
+        // 2^63 is the last representable bound; everything above it
+        // must land in bucket 63 instead of indexing out of bounds.
+        h.record_value(1u64 << 63);
+        h.record_value((1u64 << 63) + 1);
+        h.record_value(u64::MAX);
+        assert_eq!(h.count(), 3);
+        let snap = HistogramSnapshot::of(&h);
+        assert_eq!(snap.buckets, vec![(1u64 << 63, 3)], "one saturated bucket");
+        // At saturation the percentiles read 2^63 ("≥ 2^63"), the
+        // documented unbounded-error regime.
+        assert_eq!(h.quantile(0.5), Some(1u64 << 63));
+        let mixed = Histogram::default();
+        mixed.record_value(100);
+        mixed.record_value(u64::MAX);
+        assert_eq!(mixed.quantile(0.99), Some(1u64 << 63));
     }
 
     #[test]

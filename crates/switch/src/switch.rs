@@ -6,8 +6,10 @@ use ow_common::flowkey::FlowKey;
 use ow_common::packet::Packet;
 use ow_common::time::{Duration, Instant};
 
+use std::collections::HashMap;
+
 use ow_common::afr::FlowRecord;
-use ow_obs::{Counter, Event, Histogram, Obs};
+use ow_obs::{Counter, Event, Histogram, Obs, TraceContext};
 
 use crate::app::DataPlaneApp;
 use crate::collect::{CollectConfig, CollectOutcome, CrEngine, RetransmitBuffer};
@@ -109,11 +111,15 @@ struct SwitchObs {
     acks: Counter,
     evictions: Counter,
     spikes: Counter,
+    /// Live per-window trace contexts: created when the window's C&R
+    /// generates its batch, pruned at ack / OS-read / eviction.
+    traces: HashMap<u32, TraceContext>,
 }
 
 impl SwitchObs {
     fn new(obs: &Obs) -> SwitchObs {
         SwitchObs {
+            traces: HashMap::new(),
             collect_time: obs.histogram("ow_switch_cr_phase_duration", &[("phase", "collect")]),
             reset_time: obs.histogram("ow_switch_cr_phase_duration", &[("phase", "reset")]),
             os_read_time: obs.histogram("ow_switch_os_read_duration", &[]),
@@ -235,6 +241,21 @@ impl<A: DataPlaneApp> Switch<A> {
         if let Some(o) = &self.obs {
             o.retransmit_requests.inc();
             o.replay_size.record_value(replayed.len() as u64);
+            // Zero-length marker under the collect span: the buffer was
+            // replayed for this window (the controller-side span carries
+            // the round's duration; the replay itself is instantaneous
+            // on the virtual clock).
+            if let Some(ctx) = o.traces.get(&subwindow) {
+                o.obs.tracer().span(
+                    ctx.trace_id,
+                    ctx.collect,
+                    "retransmit_replay",
+                    "switch",
+                    None,
+                    ctx.anchor_ns,
+                    ctx.anchor_ns,
+                );
+            }
         }
         replayed
     }
@@ -244,8 +265,9 @@ impl<A: DataPlaneApp> Switch<A> {
     pub fn ack_collection(&mut self, subwindow: u32) {
         self.retire_window(subwindow, false);
         self.retransmit.release(subwindow);
-        if let Some(o) = &self.obs {
+        if let Some(o) = &mut self.obs {
             o.acks.inc();
+            o.traces.remove(&subwindow);
         }
     }
 
@@ -262,7 +284,7 @@ impl<A: DataPlaneApp> Switch<A> {
             .os_read(app.meta().register_arrays, app.states_per_array());
         self.retire_window(subwindow, true);
         self.retransmit.release(subwindow);
-        if let Some(o) = &self.obs {
+        if let Some(o) = &mut self.obs {
             o.os_read_time.record(cost);
             o.obs.event(
                 Event::new(
@@ -271,6 +293,17 @@ impl<A: DataPlaneApp> Switch<A> {
                 )
                 .subwindow(subwindow),
             );
+            if let Some(ctx) = o.traces.remove(&subwindow) {
+                o.obs.tracer().span(
+                    ctx.trace_id,
+                    ctx.collect,
+                    "os_read",
+                    "switch",
+                    None,
+                    ctx.anchor_ns,
+                    ctx.anchor_ns.saturating_add(cost.as_nanos()),
+                );
+            }
         }
         Some((batch, cost))
     }
@@ -301,6 +334,17 @@ impl<A: DataPlaneApp> Switch<A> {
     /// The retransmit buffer (for inspection in tests).
     pub fn retransmit_buffer(&self) -> &RetransmitBuffer {
         &self.retransmit
+    }
+
+    /// The wire-propagation [`TraceContext`] for `subwindow`'s C&R
+    /// batch: live from batch generation until ack / OS-read / eviction,
+    /// `None` outside that range or with no observability attached.
+    /// Streamers stamp this onto every announce and AFR they send so the
+    /// controller's spans join the same causal tree.
+    pub fn trace_context(&self, subwindow: u32) -> Option<TraceContext> {
+        self.obs
+            .as_ref()
+            .and_then(|o| o.traces.get(&subwindow).copied())
     }
 
     /// Run the due C&R if `now` has passed its start time.
@@ -336,8 +380,9 @@ impl<A: DataPlaneApp> Switch<A> {
         // buffer pushed out can no longer be repaired and are released.
         for evicted in self.retransmit.retain(ended, &outcome.afrs) {
             let _ = self.engine.apply(evicted, WindowEvent::Evicted);
-            if let Some(o) = &self.obs {
+            if let Some(o) = &mut self.obs {
                 o.evictions.inc();
+                o.traces.remove(&evicted);
                 o.obs.event(
                     Event::new(
                         "retransmit_evicted",
@@ -349,7 +394,13 @@ impl<A: DataPlaneApp> Switch<A> {
             }
         }
         self.state.complete_cr();
-        if let Some(o) = &self.obs {
+        let term_ns = self
+            .engine
+            .get(ended)
+            .and_then(|f| f.terminated_at())
+            .map(|t| t.as_nanos())
+            .unwrap_or_else(|| started.as_nanos());
+        if let Some(o) = &mut self.obs {
             o.collections.inc();
             o.collect_time.record(outcome.collect_time);
             o.reset_time.record(outcome.reset_time);
@@ -368,6 +419,39 @@ impl<A: DataPlaneApp> Switch<A> {
                 .phase("collected")
                 .at(started),
             );
+            // Span out the on-switch portion of the window's lifecycle:
+            // cr_wait from termination to the C&R start, then the collect
+            // and reset passes back-to-back. The reset end is the anchor
+            // every downstream (controller-side) span hangs off of.
+            let tracer = o.obs.tracer().clone();
+            let trace = tracer
+                .active_trace(ended)
+                .unwrap_or_else(|| tracer.start_window(ended, "switch", term_ns));
+            let started_ns = started.as_nanos();
+            let collect_end = started_ns.saturating_add(outcome.collect_time.as_nanos());
+            let anchor = collect_end.saturating_add(outcome.reset_time.as_nanos());
+            tracer.span(trace, trace, "cr_wait", "switch", None, term_ns, started_ns);
+            let collect = tracer.span(
+                trace,
+                trace,
+                "collect",
+                "switch",
+                None,
+                started_ns,
+                collect_end,
+            );
+            tracer.span(trace, trace, "reset", "switch", None, collect_end, anchor);
+            if let Some(collect) = collect {
+                o.traces.insert(
+                    ended,
+                    TraceContext {
+                        trace_id: trace,
+                        root: trace,
+                        collect,
+                        anchor_ns: anchor,
+                    },
+                );
+            }
         }
         events.push(SwitchEvent::AfrBatch {
             subwindow: ended,
@@ -388,6 +472,11 @@ impl<A: DataPlaneApp> Switch<A> {
         let next = active_sw + 1;
         let end_of_time = Instant::from_nanos(u64::MAX);
         self.engine.open(active_sw);
+        if let Some(o) = &self.obs {
+            o.obs
+                .tracer()
+                .start_window(active_sw, "switch", end_of_time.as_nanos());
+        }
         self.engine
             .apply(active_sw, WindowEvent::SignalFired { at: end_of_time })
             .expect("active window terminates at flush");
@@ -463,6 +552,11 @@ impl<A: DataPlaneApp> Switch<A> {
             self.run_collection(prev_ended, due.min(now), events);
         }
         self.engine.open(ended);
+        // Open the window's causal trace before the signal fires so the
+        // FSM transitions below mark into it.
+        if let Some(o) = &self.obs {
+            o.obs.tracer().start_window(ended, "switch", now.as_nanos());
+        }
         self.engine
             .apply(ended, WindowEvent::SignalFired { at: now })
             .expect("termination signal fires on an open window");

@@ -1,0 +1,185 @@
+//! End-to-end causal span tracing under heavy loss.
+//!
+//! Runs the instrumented obs-smoke pipeline at 30% AFR loss and asserts
+//! the tentpole guarantees of the span-tracing subsystem: every
+//! collected window yields exactly one single-rooted span tree with no
+//! orphans, retransmission spans parent to the window's original
+//! `collect` span (the wire-propagated [`ow_obs::TraceContext`] survived
+//! drops, duplication, and reordering), the critical path attributes
+//! ≥95% of the window's virtual wall time to named spans, and two
+//! same-seed runs serialize to byte-identical reports.
+
+use std::collections::{HashMap, HashSet};
+
+use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
+use ow_common::time::Duration;
+use ow_obs::{validate_trace_json, TraceReport};
+
+fn lossy_cfg() -> ObsSmokeConfig {
+    ObsSmokeConfig {
+        seed: 7,
+        loss: 0.30,
+        shards: 4,
+        window_subwindows: 3,
+    }
+}
+
+fn capture(cfg: &ObsSmokeConfig) -> TraceReport {
+    let out = obs_smoke::run(cfg);
+    TraceReport::capture(
+        "trace_e2e",
+        out.obs.tracer(),
+        Some(Duration::from_millis(10)),
+    )
+}
+
+#[test]
+fn every_window_yields_a_complete_single_rooted_span_tree() {
+    let report = capture(&lossy_cfg());
+    assert!(
+        report.traces.len() >= 2,
+        "the trace terminates several sub-windows"
+    );
+    for trace in &report.traces {
+        let ids: HashSet<u64> = trace.spans.iter().map(|s| s.id).collect();
+        let roots: Vec<_> = trace.spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 1, "sub-window {}: one root", trace.subwindow);
+        assert_eq!(roots[0].id, trace.root);
+        assert_eq!(roots[0].name, "window");
+        for span in &trace.spans {
+            if let Some(parent) = span.parent {
+                assert!(
+                    ids.contains(&parent),
+                    "sub-window {}: span {} ('{}') is orphaned",
+                    trace.subwindow,
+                    span.id,
+                    span.name
+                );
+                assert!(parent < span.id, "ids are causal: parent precedes child");
+            }
+            assert!(span.end_ns >= span.start_ns);
+        }
+        // The switch-side phases all made it into the tree.
+        for name in ["cr_wait", "collect", "reset"] {
+            assert!(
+                trace.spans.iter().any(|s| s.name == name),
+                "sub-window {}: missing '{name}' span",
+                trace.subwindow
+            );
+        }
+        // The lifecycle marks followed the FSM through to merge.
+        let events: Vec<&str> = trace.transitions.iter().map(|m| m.event.as_str()).collect();
+        for event in [
+            "signal_fired",
+            "cr_scheduled",
+            "collect_started",
+            "batch_generated",
+        ] {
+            assert!(
+                events.contains(&event),
+                "sub-window {}: missing '{event}' transition",
+                trace.subwindow
+            );
+        }
+    }
+}
+
+#[test]
+fn retransmit_spans_parent_to_the_original_collect_span() {
+    let report = capture(&lossy_cfg());
+    let mut rounds_seen = 0usize;
+    for trace in &report.traces {
+        let collect = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "collect")
+            .unwrap_or_else(|| panic!("sub-window {} has a collect span", trace.subwindow));
+        for round in trace.spans.iter().filter(|s| s.name == "retransmit_round") {
+            rounds_seen += 1;
+            assert_eq!(
+                round.parent,
+                Some(collect.id),
+                "sub-window {}: retransmit round must hang off the original \
+                 collect span (context propagated through the lossy wire)",
+                trace.subwindow
+            );
+            assert_eq!(round.side, "controller");
+        }
+        // The controller merged every traced window under its root.
+        let merge = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "merge")
+            .unwrap_or_else(|| panic!("sub-window {} merged", trace.subwindow));
+        assert_eq!(merge.parent, Some(trace.root));
+    }
+    assert!(
+        rounds_seen >= report.traces.len(),
+        "at 30% loss with one forced drop per sub-window, every session \
+         retransmits at least once"
+    );
+}
+
+#[test]
+fn critical_path_attributes_at_least_95_percent_of_wall_time() {
+    let report = capture(&lossy_cfg());
+    for trace in &report.traces {
+        let cp = &trace.critical_path;
+        assert!(
+            cp.attributed_permille >= 950,
+            "sub-window {}: only {}‰ of {}ns wall attributed",
+            trace.subwindow,
+            cp.attributed_permille,
+            cp.wall_ns
+        );
+        assert!(!cp.chain.is_empty());
+        assert_eq!(cp.chain[0], "window");
+    }
+    // The deterministically escalated session blows the 10ms SLO; the
+    // ordinary sessions stay inside it.
+    let violated = report
+        .traces
+        .iter()
+        .filter(|t| t.critical_path.slo_violated)
+        .count();
+    assert_eq!(violated, 1, "exactly the escalated window violates the SLO");
+}
+
+#[test]
+fn same_seed_runs_serialize_byte_identically_and_validate() {
+    let cfg = lossy_cfg();
+    let a = capture(&cfg).to_json();
+    let b = capture(&cfg).to_json();
+    assert_eq!(a, b, "same seed ⇒ byte-identical trace report");
+    let doc = ow_obs::json::parse(&a).expect("report parses");
+    validate_trace_json(&doc).expect("report passes the span schema");
+}
+
+#[test]
+fn traces_are_disjoint_per_window_and_cover_all_collected_windows() {
+    let cfg = lossy_cfg();
+    let out = obs_smoke::run(&cfg);
+    let report = TraceReport::capture("trace_e2e", out.obs.tracer(), None);
+    let mut seen: HashMap<u32, u64> = HashMap::new();
+    let mut all_ids: HashSet<u64> = HashSet::new();
+    for trace in &report.traces {
+        assert!(
+            seen.insert(trace.subwindow, trace.trace_id).is_none(),
+            "one trace per sub-window"
+        );
+        for span in &trace.spans {
+            assert!(
+                all_ids.insert(span.id),
+                "span ids are globally unique across traces"
+            );
+        }
+    }
+    // Every session the controller completed has a trace.
+    assert_eq!(
+        report.traces.len() as u64,
+        out.obs
+            .snapshot()
+            .value("ow_controller_sessions_total", &[]),
+        "every completed session left a span tree"
+    );
+}
