@@ -1,0 +1,261 @@
+//! `bench_fleet` — fleet-scale throughput and recovery-latency bench.
+//!
+//! Runs the chaos fleet scenario (10% AFR loss, one rack-level 60% loss
+//! burst, a crash and a graceful leave, periodic forced escalations) at
+//! fleet sizes 32, 128, and 512 (32 only under `--small`), measuring
+//! per size:
+//!
+//! * aggregate merge throughput — announced AFR records over the run's
+//!   wall-clock seconds (workers, shards, and recovery included), and
+//! * p99 recovery latency — the 99th percentile of the controller's
+//!   `ow_controller_cr_phase_duration{phase="recovery"}` histogram, on
+//!   the virtual clock (deterministic per seed).
+//!
+//! Writes three files next to each other (default under `results/`):
+//! `fleet_bench.json` with everything, `fleet_bench.meta.json` with
+//! only the seed-deterministic fields — window accounting, reliability
+//! counters, fault totals, merged-fold digest, p99 latencies — and
+//! `fleet_bench.obs.json`, the largest run's metrics snapshot (fleet
+//! gauges included) for `ow-obs-report`. CI runs the bench twice and
+//! `cmp`s the meta files byte for byte; wall-clock rates stay out of
+//! the determinism gate by construction.
+
+use std::path::Path;
+use std::time::Instant;
+
+use omniwindow::experiments::Scale;
+use ow_bench::Cli;
+use ow_common::time::Duration;
+use ow_controller::wire::encode_merged;
+use ow_netsim::fleet::{self, ChurnEvent, ChurnKind, FleetConfig, RackBurst};
+use ow_obs::Obs;
+use serde::Serialize;
+
+/// Seed-deterministic outcome of one fleet size (the `cmp`-gated part).
+#[derive(Debug, Clone, Serialize)]
+struct FleetMetaRow {
+    /// Fleet size (switch count).
+    switches: u32,
+    /// Controller workers serving the fleet.
+    workers: usize,
+    /// Windows whose announcement was sent.
+    started_windows: u64,
+    /// Windows that merged complete batches.
+    merged_windows: u64,
+    /// Windows abandoned to crash churn.
+    departed_windows: u64,
+    /// AFR records announced across the fleet.
+    announced_records: u64,
+    /// Distinct records recovered by retransmission.
+    recovered_records: u64,
+    /// Sessions that escalated to the switch-OS read.
+    escalations: u64,
+    /// Packets the per-link channels dropped (all classes).
+    packets_dropped: u64,
+    /// p99 of the controller recovery-phase histogram, virtual ns.
+    p99_recovery_ns: u64,
+    /// FNV-1a digest of the fleet-wide `encode_merged` fold — pins the
+    /// merged view without embedding megabytes of records.
+    merged_fold_fnv: u64,
+}
+
+/// One fleet size's full result: the deterministic row plus wall-clock
+/// throughput.
+#[derive(Debug, Clone, Serialize)]
+struct FleetBenchRow {
+    /// The seed-deterministic outcome.
+    meta: FleetMetaRow,
+    /// Wall seconds for the whole run (schedule replay + drain).
+    wall_secs: f64,
+    /// Aggregate announced-records-per-second over the run.
+    records_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetBenchReport {
+    bench: &'static str,
+    seed: u64,
+    afr_loss: f64,
+    rows: Vec<FleetBenchRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetMetaReport {
+    bench: &'static str,
+    seed: u64,
+    afr_loss: f64,
+    rows: Vec<FleetMetaRow>,
+}
+
+/// The CI smoke scenario at one fleet size: 10% baseline loss, one
+/// rack-level 60% burst, a crash and a graceful leave, every 9th
+/// window's back-channel dead.
+fn fleet_cfg(switches: u32, seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig {
+        switches,
+        workers: (switches as usize / 8).clamp(4, 16),
+        shards_per_worker: 2,
+        local_windows: 4,
+        records_per_window: 24,
+        population: 64,
+        subwindow_len: Duration::from_millis(1),
+        afr_loss: 0.10,
+        rack_size: 8,
+        bursts: vec![RackBurst {
+            rack: 1,
+            from: Duration::from_micros(500),
+            until: Duration::from_micros(2_500),
+            loss: 0.60,
+        }],
+        churn: Vec::new(),
+        escalate_every: 9,
+        seed,
+    };
+    // Crash switch 2 100µs into its second window's stream (the stagger
+    // offset is seed-derived, so aim relative to it — a fixed instant
+    // could fall between windows and depart nothing), and let switch 5
+    // leave gracefully near the end of the run.
+    let crash_at = 1_000 + cfg.stagger_ns(2) / 1_000 + 100;
+    cfg.churn = vec![
+        ChurnEvent {
+            at: Duration::from_micros(crash_at),
+            switch: 2,
+            kind: ChurnKind::Crash,
+        },
+        ChurnEvent {
+            at: Duration::from_micros(3_800),
+            switch: 5,
+            kind: ChurnKind::Leave,
+        },
+    ];
+    cfg
+}
+
+/// FNV-1a over the canonical merged-fold encoding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn run_size(switches: u32, seed: u64) -> (FleetBenchRow, Obs) {
+    let cfg = fleet_cfg(switches, seed);
+    let obs = Obs::new();
+    let started = Instant::now();
+    let report = fleet::run(&cfg, Some(&obs));
+    let wall_secs = started.elapsed().as_secs_f64();
+    assert!(
+        report.all_windows_accounted(),
+        "fleet of {switches} wedged: started {} merged {} departed {}",
+        report.started_windows,
+        report.merged_windows,
+        report.departed_windows
+    );
+    let snap = obs.snapshot();
+    let p99_recovery_ns = snap
+        .get("ow_controller_cr_phase_duration", &[("phase", "recovery")])
+        .and_then(|m| m.histogram.as_ref().map(|h| h.p99))
+        .unwrap_or(0);
+    let meta = FleetMetaRow {
+        switches,
+        workers: cfg.workers,
+        started_windows: report.started_windows,
+        merged_windows: report.merged_windows,
+        departed_windows: report.departed_windows,
+        announced_records: report.metrics.announced,
+        recovered_records: report.metrics.recovered,
+        escalations: report.metrics.escalations,
+        packets_dropped: report.fault_stats.total_dropped(),
+        p99_recovery_ns,
+        merged_fold_fnv: fnv1a(&encode_merged(&report.merged)),
+    };
+    let row = FleetBenchRow {
+        records_per_sec: meta.announced_records as f64 / wall_secs.max(1e-9),
+        wall_secs,
+        meta,
+    };
+    (row, obs)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes: &[u32] = match cli.scale {
+        Scale::Tiny => &[16],
+        Scale::Small => &[32],
+        Scale::Paper => &[32, 128, 512],
+    };
+    let mut rows = Vec::new();
+    let mut last_obs: Option<Obs> = None;
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>8}  {:>9}  {:>14}  {:>16}",
+        "switches", "started", "merged", "departed", "escal.", "p99 rec (ns)", "records/s"
+    );
+    for &switches in sizes {
+        cli.progress(format!("fleet of {switches}: running chaos scenario"));
+        let (row, obs) = run_size(switches, cli.seed);
+        last_obs = Some(obs);
+        println!(
+            "{:>9}  {:>8}  {:>8}  {:>8}  {:>9}  {:>14}  {:>16.0}",
+            row.meta.switches,
+            row.meta.started_windows,
+            row.meta.merged_windows,
+            row.meta.departed_windows,
+            row.meta.escalations,
+            row.meta.p99_recovery_ns,
+            row.records_per_sec
+        );
+        rows.push(row);
+    }
+
+    let report = FleetBenchReport {
+        bench: "bench_fleet",
+        seed: cli.seed,
+        afr_loss: 0.10,
+        rows,
+    };
+    cli.dump(&report);
+    // The deterministic companion: same path with `.meta.json` for
+    // `.json`, so `--json results/fleet_bench.json` also produces
+    // `results/fleet_bench.meta.json` for CI's two-run `cmp`.
+    if let Some(path) = &cli.json {
+        let meta = FleetMetaReport {
+            bench: report.bench,
+            seed: report.seed,
+            afr_loss: report.afr_loss,
+            rows: report.rows.iter().map(|r| r.meta.clone()).collect(),
+        };
+        let meta_path = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.meta.json"),
+            None => format!("{path}.meta.json"),
+        };
+        match serde_json::to_string_pretty(&meta) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&meta_path, s) {
+                    eprintln!("bench_fleet: failed to write {meta_path}: {e}");
+                    std::process::exit(1);
+                }
+                cli.progress(format!("deterministic metadata written to {meta_path}"));
+            }
+            Err(e) => {
+                eprintln!("bench_fleet: failed to serialise metadata: {e}");
+                std::process::exit(1);
+            }
+        }
+        // The largest run's metrics snapshot — fleet gauges included —
+        // so `ow-obs-report <stem>.obs.json` renders the fleet section.
+        if let Some(obs) = &last_obs {
+            let obs_path = match path.strip_suffix(".json") {
+                Some(stem) => format!("{stem}.obs.json"),
+                None => format!("{path}.obs.json"),
+            };
+            if let Err(e) = obs.report("bench_fleet").write(Path::new(&obs_path)) {
+                eprintln!("bench_fleet: failed to write {obs_path}: {e}");
+                std::process::exit(1);
+            }
+            cli.progress(format!("metrics snapshot written to {obs_path}"));
+        }
+    }
+}

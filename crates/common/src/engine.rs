@@ -18,6 +18,7 @@
 //!       Escalated ──StreamComplete──▶ Merged
 //!     Merged ──Acked──▶ Released
 //!     Collected / Retransmitting / Escalated ──Evicted──▶ Released
+//!     any non-terminal phase ──SwitchDeparted──▶ Released    (fleet churn)
 //! ```
 //!
 //! `ow-switch` drives the left half (signal → C&R → batch retained for
@@ -137,6 +138,13 @@ pub enum WindowEvent {
     /// (bounded retransmit buffer) — the window can no longer be
     /// repaired.
     Evicted,
+    /// The owning switch left the fleet (crash or failed link) while the
+    /// window was in flight. Legal from every non-terminal phase: a
+    /// departed switch can answer no retransmission request and no
+    /// OS read, so whatever the lifecycle was doing, the only safe exit
+    /// is an immediate release — the FSM must never wedge in `CrWait` or
+    /// `Retransmitting` waiting on a peer that no longer exists.
+    SwitchDeparted,
 }
 
 impl WindowEvent {
@@ -152,6 +160,7 @@ impl WindowEvent {
             WindowEvent::EscalateOsRead => "escalate_os_read",
             WindowEvent::Acked => "acked",
             WindowEvent::Evicted => "evicted",
+            WindowEvent::SwitchDeparted => "switch_departed",
         }
     }
 }
@@ -211,6 +220,7 @@ pub struct WindowFsm {
     retransmit_rounds: u32,
     escalated: bool,
     evicted: bool,
+    departed: bool,
 }
 
 impl WindowFsm {
@@ -225,6 +235,7 @@ impl WindowFsm {
             retransmit_rounds: 0,
             escalated: false,
             evicted: false,
+            departed: false,
         }
     }
 
@@ -280,6 +291,11 @@ impl WindowFsm {
         self.evicted
     }
 
+    /// Whether the owning switch departed the fleet mid-lifecycle.
+    pub fn was_departed(&self) -> bool {
+        self.departed
+    }
+
     fn reject(&self, event: &WindowEvent) -> FsmError {
         FsmError {
             subwindow: self.subwindow,
@@ -320,6 +336,10 @@ impl WindowFsm {
             (P::Merged, WindowEvent::Acked) => P::Released,
             (P::Collected | P::Retransmitting | P::Escalated, WindowEvent::Evicted) => {
                 self.evicted = true;
+                P::Released
+            }
+            (phase, WindowEvent::SwitchDeparted) if !phase.is_terminal() => {
+                self.departed = true;
                 P::Released
             }
             _ => return Err(self.reject(&event)),
@@ -589,6 +609,63 @@ mod tests {
         fsm.apply(WindowEvent::Evicted).unwrap();
         assert!(fsm.was_evicted());
         assert_eq!(fsm.phase(), WindowPhase::Released);
+    }
+
+    #[test]
+    fn departure_releases_from_every_non_terminal_phase() {
+        // Walk the happy path, branching off a departure at every
+        // intermediate phase: each one must release immediately.
+        let reach = |phase: WindowPhase| -> WindowFsm {
+            let mut fsm = WindowFsm::open(5);
+            let script: &[WindowEvent] = &[
+                WindowEvent::SignalFired {
+                    at: Instant::from_millis(100),
+                },
+                WindowEvent::CrScheduled {
+                    due: Instant::from_millis(101),
+                },
+                WindowEvent::CollectStarted {
+                    at: Instant::from_millis(101),
+                },
+                WindowEvent::BatchGenerated { announced: 3 },
+                WindowEvent::RetransmitRound,
+                WindowEvent::EscalateOsRead,
+                WindowEvent::StreamComplete,
+            ];
+            for ev in script {
+                if fsm.phase() == phase {
+                    break;
+                }
+                fsm.apply(*ev).unwrap();
+            }
+            assert_eq!(fsm.phase(), phase, "script reaches {phase}");
+            fsm
+        };
+        for phase in [
+            WindowPhase::Open,
+            WindowPhase::Terminated,
+            WindowPhase::CrWait,
+            WindowPhase::Collecting,
+            WindowPhase::Collected,
+            WindowPhase::Retransmitting,
+            WindowPhase::Escalated,
+            WindowPhase::Merged,
+        ] {
+            let mut fsm = reach(phase);
+            fsm.apply(WindowEvent::SwitchDeparted)
+                .unwrap_or_else(|e| panic!("departure from {phase}: {e}"));
+            assert_eq!(fsm.phase(), WindowPhase::Released);
+            assert!(fsm.was_departed());
+        }
+    }
+
+    #[test]
+    fn released_windows_reject_departure() {
+        let mut fsm = WindowFsm::announced(2, 1);
+        fsm.apply(WindowEvent::SwitchDeparted).unwrap();
+        let err = fsm.apply(WindowEvent::SwitchDeparted).unwrap_err();
+        assert_eq!(err.event, "switch_departed");
+        assert_eq!(err.phase, WindowPhase::Released);
     }
 
     #[test]

@@ -132,6 +132,10 @@ pub struct ReliabilityMetrics {
     /// drops — this counts explicit backpressure rejections, not silent
     /// loss).
     pub dropped: u64,
+    /// Sessions abandoned because their switch departed the fleet
+    /// mid-window (crash churn): the partial batch is discarded and the
+    /// window released instead of merged.
+    pub departed: u64,
     /// Virtual wall-clock from generation end to a complete batch
     /// (timeouts waited plus any charged OS-read latency).
     pub wall_clock: Duration,
@@ -151,6 +155,7 @@ impl ReliabilityMetrics {
         self.duplicates += other.duplicates;
         self.escalations += other.escalations;
         self.dropped += other.dropped;
+        self.departed += other.departed;
         self.wall_clock += other.wall_clock;
     }
 
@@ -255,6 +260,7 @@ mod tests {
             duplicates: 1,
             escalations: 0,
             dropped: 1,
+            departed: 1,
             wall_clock: Duration::from_micros(400),
         };
         total.merge(&session);
@@ -262,6 +268,7 @@ mod tests {
         assert_eq!(total.announced, 20);
         assert_eq!(total.recovered, 6);
         assert_eq!(total.dropped, 2);
+        assert_eq!(total.departed, 2);
         assert_eq!(total.wall_clock, Duration::from_micros(800));
         assert!((total.first_pass_loss() - 0.3).abs() < 1e-12);
         assert!(!total.lossless());

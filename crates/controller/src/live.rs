@@ -452,6 +452,17 @@ pub enum ReliableMsg {
     /// clone carries the context, so any copy that survives the lossy
     /// channel delivers it — even when the announcement itself was lost.
     TracedAfr(Traced<FlowRecord>),
+    /// The switch owning `subwindow` departed the fleet (crash churn)
+    /// before its stream completed. The session is abandoned: its
+    /// partial batch is discarded (never merged), its [`WindowFsm`] is
+    /// driven through `SwitchDeparted` to `Released` instead of being
+    /// left to wedge in a recovery loop against a dead peer, and the
+    /// sub-window is tombstoned so late clones of its announcement or
+    /// AFRs are dropped rather than resurrecting the session.
+    Depart {
+        /// The sub-window whose switch disappeared.
+        subwindow: u32,
+    },
     /// End of input: finalize every open session, then exit.
     Shutdown,
 }
@@ -573,6 +584,12 @@ impl ReliableLiveController {
             // Trace contexts learned from the wire (traced announcements
             // or any surviving traced AFR clone), consumed at finalize.
             let mut ctxs: HashMap<u32, TraceContext> = HashMap::new();
+            // Sub-windows whose switch departed: tombstones that drop
+            // late announcements/AFRs instead of opening a session that
+            // could never complete (bounded by the number of distinct
+            // departed windows a run produces).
+            let mut departed_windows: std::collections::HashSet<u32> =
+                std::collections::HashSet::new();
 
             let feed = |entry: &mut (CollectionSession, ReliabilityMetrics), rec: FlowRecord| {
                 let before = entry.0.received();
@@ -721,6 +738,9 @@ impl ReliableLiveController {
                         subwindow,
                         announced,
                     } => {
+                        if departed_windows.contains(&subwindow) {
+                            continue;
+                        }
                         let entry = sessions.entry(subwindow).or_insert_with(|| {
                             let m = ReliabilityMetrics {
                                 announced: announced as u64,
@@ -732,10 +752,15 @@ impl ReliableLiveController {
                             feed(entry, rec);
                         }
                     }
-                    ReliableMsg::Afr(rec) => match sessions.get_mut(&rec.subwindow) {
-                        Some(entry) => feed(entry, rec),
-                        None => early.entry(rec.subwindow).or_default().push(rec),
-                    },
+                    ReliableMsg::Afr(rec) => {
+                        if departed_windows.contains(&rec.subwindow) {
+                            continue;
+                        }
+                        match sessions.get_mut(&rec.subwindow) {
+                            Some(entry) => feed(entry, rec),
+                            None => early.entry(rec.subwindow).or_default().push(rec),
+                        }
+                    }
                     ReliableMsg::EndOfStream { subwindow } => {
                         if let Some(entry) = sessions.remove(&subwindow) {
                             let ctx = ctxs.remove(&subwindow);
@@ -747,6 +772,50 @@ impl ReliableLiveController {
                                 &mut engine,
                                 &mut merged_order,
                             );
+                        }
+                    }
+                    ReliableMsg::Depart { subwindow } => {
+                        departed_windows.insert(subwindow);
+                        early.remove(&subwindow);
+                        let ctx = ctxs.remove(&subwindow);
+                        if let Some((session, mut metrics)) = sessions.remove(&subwindow) {
+                            metrics.departed = 1;
+                            total.merge(&metrics);
+                            // The partial batch dies with the session;
+                            // only the lifecycle bookkeeping survives.
+                            engine.insert(*session.fsm());
+                            let _ = engine.apply(subwindow, WindowEvent::SwitchDeparted);
+                            if let Some(o) = &session_obs {
+                                o.fold_reliability(&metrics);
+                                o.event(
+                                    Event::new(
+                                        "switch_departed",
+                                        format!(
+                                            "abandoned after {} of {} AFRs: switch left the \
+                                             fleet mid-window",
+                                            metrics.first_pass, metrics.announced,
+                                        ),
+                                    )
+                                    .subwindow(subwindow)
+                                    .phase("released"),
+                                );
+                                // Close the window's causal trace so the
+                                // tree stays complete even though no
+                                // merge span will ever arrive.
+                                if let Some(ctx) = ctx {
+                                    let tracer = o.tracer().clone();
+                                    tracer.span(
+                                        ctx.trace_id,
+                                        ctx.root,
+                                        "departed",
+                                        "controller",
+                                        None,
+                                        ctx.anchor_ns,
+                                        ctx.anchor_ns,
+                                    );
+                                    tracer.finish_window(ctx.trace_id, ctx.anchor_ns);
+                                }
+                            }
                         }
                     }
                     ReliableMsg::TracedAnnounce { .. } | ReliableMsg::TracedAfr(_) => {
@@ -1018,6 +1087,69 @@ mod tests {
         assert_eq!(metrics.escalations, 1);
         assert_eq!(metrics.retransmit_rounds, 2);
         assert!(metrics.wall_clock >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn departed_session_is_abandoned_not_wedged() {
+        let obs = Obs::new();
+        let store = seq_batch(3, 8);
+        let ctl = ReliableLiveController::spawn_sharded_obs(
+            4,
+            64,
+            RetryPolicy::default(),
+            // A departed switch can answer nothing; neither callback may
+            // ever run for the abandoned window.
+            Box::new(|_, _| panic!("no retransmission for a departed switch")),
+            Box::new(|_| panic!("no OS read for a departed switch")),
+            2,
+            Some(&obs),
+        );
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: 3,
+                announced: 8,
+            })
+            .unwrap();
+        // Part of the initial stream arrives, then the switch crashes.
+        for rec in store.iter().take(3) {
+            ctl.sender.send(ReliableMsg::Afr(*rec)).unwrap();
+        }
+        ctl.sender
+            .send(ReliableMsg::Depart { subwindow: 3 })
+            .unwrap();
+        // Late clones and a duplicated announcement hit the tombstone
+        // instead of resurrecting a session that could never complete.
+        ctl.sender.send(ReliableMsg::Afr(store[4])).unwrap();
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: 3,
+                announced: 8,
+            })
+            .unwrap();
+        let handle = ctl.handle.clone();
+        let metrics = ctl.join();
+        assert_eq!(handle.merged_flows(), 0, "partial batch never merges");
+        assert_eq!(metrics.departed, 1);
+        assert_eq!(metrics.first_pass, 3);
+        assert_eq!(metrics.escalations, 0);
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.value("ow_controller_departed_sessions_total", &[]), 1);
+        assert_eq!(snap.value("ow_controller_sessions_total", &[]), 0);
+        // The FSM went Collected → Released via switch_departed: the
+        // engine released it rather than leaving it in a recovery phase.
+        assert_eq!(
+            snap.value("ow_common_engine_released_total", &[("side", "controller")]),
+            1
+        );
+        let departs: Vec<_> = obs
+            .journal()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "switch_departed")
+            .collect();
+        assert_eq!(departs.len(), 1);
+        assert_eq!(departs[0].subwindow, Some(3));
     }
 
     #[test]

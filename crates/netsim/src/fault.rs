@@ -181,6 +181,18 @@ impl FaultStats {
         self.classes.iter().map(|c| c.offered).sum()
     }
 
+    /// Fold another channel's counters into this aggregate (per-class,
+    /// counter for counter) — how a fleet sums its per-link channels.
+    pub fn merge(&mut self, other: &FaultStats) {
+        for (mine, theirs) in self.classes.iter_mut().zip(other.classes.iter()) {
+            mine.offered += theirs.offered;
+            mine.delivered += theirs.delivered;
+            mine.dropped += theirs.dropped;
+            mine.duplicated += theirs.duplicated;
+            mine.reordered += theirs.reordered;
+        }
+    }
+
     fn class_mut(&mut self, class: PacketClass) -> &mut ClassStats {
         &mut self.classes[class.index()]
     }

@@ -1,0 +1,764 @@
+//! Fleet-scale simulation: hundreds of switches against a sharded
+//! controller tier.
+//!
+//! Exp#9 stops at two switches; a production deployment is a *fleet*.
+//! This module scales the C&R pipeline to 100–1000 switches served by
+//! `N` controller workers (each a `ReliableLiveController` with its own
+//! shard pool), with three mechanisms the two-switch model never needed:
+//!
+//! * **Consistent worker assignment** — each switch is mapped to a
+//!   worker by rendezvous (highest-random-weight) hashing over
+//!   [`mix64`], so adding or removing workers moves only the minimal
+//!   set of switches and every run of the same config assigns
+//!   identically.
+//! * **Phase staggering** — every switch gets a deterministic per-switch
+//!   offset within the sub-window period, de-spiking the announce/AFR
+//!   bursts that a synchronized fleet would fire at each window
+//!   boundary (the Laminar-style pipelined feeding pattern).
+//! * **Failure domains and churn** — per-link [`FaultConfig`]-style
+//!   loss plus *rack-correlated* loss bursts (every switch in a rack
+//!   degrades together for an interval), and mid-window switch
+//!   join/leave/crash churn. A graceful leave drains its in-flight
+//!   windows; a crash abandons them through the controller's
+//!   `Depart` path, driving their `WindowFsm`s to `Released` instead of
+//!   wedging a recovery loop against a dead peer.
+//!
+//! Everything is virtual-time and seed-driven: the event schedule is
+//! computed up front and replayed in sorted order, per-switch loss draws
+//! come from per-switch seeded [`LossyChannel`]s, and each worker's
+//! router consumes its messages in a deterministic order — so a fixed
+//! [`FleetConfig`] reproduces the same [`FleetReport`] byte for byte
+//! (the property the chaos suite and the CI determinism gate pin down).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use ow_common::afr::{AttrValue, FlowRecord};
+use ow_common::flowkey::FlowKey;
+use ow_common::hash::mix64;
+use ow_common::metrics::ReliabilityMetrics;
+use ow_common::time::Duration;
+use ow_controller::live::{ReliableLiveController, ReliableMsg};
+use ow_controller::reliability::RetryPolicy;
+use ow_obs::{Gauge, Obs};
+
+use crate::fault::{FaultConfig, FaultStats, LossyChannel, PacketClass};
+
+/// Bits of the global sub-window id reserved for the switch-local
+/// window index; the rest carry the switch id.
+const LOCAL_BITS: u32 = 8;
+
+/// Salt for the rendezvous assignment weights (fixed so the assignment
+/// is a pure function of `(switch, workers)`).
+const ASSIGN_SALT: u64 = 0x6f77_666c_6565_7431;
+
+/// Salt for per-switch stagger offsets.
+const STAGGER_SALT: u64 = 0x6f77_7374_6167_6731;
+
+/// Salt for the synthetic per-window workload.
+const WORKLOAD_SALT: u64 = 0x6f77_776f_726b_6c64;
+
+/// Namespace a switch-local sub-window into the fleet-global id one
+/// controller worker keys its sessions by.
+///
+/// # Panics
+/// Panics when `local` ≥ 2⁸ or `switch` ≥ 2²⁴ (the packing bounds).
+pub fn global_subwindow(switch: u32, local: u32) -> u32 {
+    assert!(
+        local < (1 << LOCAL_BITS),
+        "local window {local} out of range"
+    );
+    assert!(
+        switch < (1 << (32 - LOCAL_BITS)),
+        "switch {switch} out of range"
+    );
+    (switch << LOCAL_BITS) | local
+}
+
+/// The switch that owns a fleet-global sub-window id.
+pub fn subwindow_switch(global: u32) -> u32 {
+    global >> LOCAL_BITS
+}
+
+/// Rendezvous (highest-random-weight) assignment of a switch to one of
+/// `workers` controller workers: deterministic, uniform, and minimally
+/// disruptive when the worker count changes.
+///
+/// # Panics
+/// Panics when `workers` is zero.
+pub fn worker_of(switch: u32, workers: usize) -> usize {
+    assert!(workers > 0, "a fleet needs at least one worker");
+    (0..workers)
+        .max_by_key(|&w| mix64(ASSIGN_SALT ^ ((switch as u64) << 32) ^ w as u64))
+        .expect("workers > 0")
+}
+
+/// What a churn event does to its switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The switch joins the fleet at the event time (it is absent — no
+    /// windows scheduled — before then).
+    Join,
+    /// Graceful leave: no new windows start, but windows already
+    /// announced drain to completion (their streams finish).
+    Leave,
+    /// Crash: windows already announced but not yet end-of-streamed are
+    /// abandoned through the controller's `Depart` path; nothing else
+    /// from this switch is ever heard again.
+    Crash,
+}
+
+/// One mid-run membership change.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnEvent {
+    /// Virtual time of the change.
+    pub at: Duration,
+    /// The switch joining, leaving, or crashing.
+    pub switch: u32,
+    /// What happens.
+    pub kind: ChurnKind,
+}
+
+/// A rack-correlated loss burst: every switch in `rack` transmits its
+/// AFR streams at `loss` for events inside `[from, until)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RackBurst {
+    /// The failure domain (rack index, `switch / rack_size`).
+    pub rack: u32,
+    /// Burst start (inclusive, virtual time).
+    pub from: Duration,
+    /// Burst end (exclusive, virtual time).
+    pub until: Duration,
+    /// AFR loss probability during the burst.
+    pub loss: f64,
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet size (switch count), < 2²⁴.
+    pub switches: u32,
+    /// Controller workers the fleet is rendezvous-hashed onto.
+    pub workers: usize,
+    /// Merge shards per worker.
+    pub shards_per_worker: usize,
+    /// Sub-windows each switch terminates over the run, < 2⁸.
+    pub local_windows: u32,
+    /// AFRs per per-switch sub-window batch.
+    pub records_per_window: u32,
+    /// Flow-key population the synthetic batches draw from (keys are
+    /// shared fleet-wide, so merges overlap across switches).
+    pub population: u32,
+    /// Virtual length of one sub-window period.
+    pub subwindow_len: Duration,
+    /// Baseline per-link AFR-stream loss probability.
+    pub afr_loss: f64,
+    /// Switches per rack (the correlated failure domain).
+    pub rack_size: u32,
+    /// Rack-level loss bursts.
+    pub bursts: Vec<RackBurst>,
+    /// Membership churn schedule.
+    pub churn: Vec<ChurnEvent>,
+    /// Force every Nth started window's retransmission back-channel
+    /// dead (recovery must escalate to the OS read); 0 disables.
+    pub escalate_every: u32,
+    /// Seed driving stagger offsets, workloads, and loss draws.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            switches: 32,
+            workers: 4,
+            shards_per_worker: 2,
+            local_windows: 4,
+            records_per_window: 24,
+            population: 64,
+            subwindow_len: Duration::from_millis(1),
+            afr_loss: 0.10,
+            rack_size: 8,
+            bursts: Vec::new(),
+            churn: Vec::new(),
+            escalate_every: 0,
+            seed: 1,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The failure domain of a switch.
+    pub fn rack_of(&self, switch: u32) -> u32 {
+        switch / self.rack_size.max(1)
+    }
+
+    /// The deterministic per-switch phase offset within the sub-window
+    /// period (the de-spiking stagger).
+    pub fn stagger_ns(&self, switch: u32) -> u64 {
+        let period = self.subwindow_len.as_nanos().max(1);
+        mix64(STAGGER_SALT ^ self.seed ^ switch as u64) % period
+    }
+
+    /// When `switch` announces its `local`-th sub-window.
+    fn announce_ns(&self, switch: u32, local: u32) -> u64 {
+        local as u64 * self.subwindow_len.as_nanos() + self.stagger_ns(switch)
+    }
+
+    /// When `switch` finishes streaming its `local`-th sub-window.
+    fn eos_ns(&self, switch: u32, local: u32) -> u64 {
+        self.announce_ns(switch, local) + self.subwindow_len.as_nanos() / 2
+    }
+
+    /// The lossless single-worker control run used as the merge-identity
+    /// baseline: identical fleet, workloads, stagger, and churn
+    /// schedule, but zero loss and one worker. The surviving window set
+    /// is schedule-determined (announcements travel reliably), so the
+    /// baseline merges exactly the windows the chaotic run merges.
+    pub fn lossless_baseline(&self) -> FleetConfig {
+        FleetConfig {
+            workers: 1,
+            shards_per_worker: 1,
+            afr_loss: 0.0,
+            bursts: Vec::new(),
+            escalate_every: 0,
+            ..self.clone()
+        }
+    }
+
+    /// The synthetic AFR batch of `(switch, local)`: deterministic keys
+    /// over the shared population, seq-numbered for the §8 loop.
+    pub fn workload(&self, switch: u32, local: u32) -> Vec<FlowRecord> {
+        let global = global_subwindow(switch, local);
+        (0..self.records_per_window)
+            .map(|i| {
+                let draw = mix64(WORKLOAD_SALT ^ self.seed ^ ((global as u64) << 16) ^ i as u64);
+                let key = (draw % self.population.max(1) as u64) as u32;
+                let count = 1 + (draw >> 32) % 100;
+                let mut rec = FlowRecord::frequency(FlowKey::src_ip(key), count, global);
+                rec.seq = i;
+                rec
+            })
+            .collect()
+    }
+}
+
+/// What happens at one scheduled instant of the fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FleetEventKind {
+    Join,
+    Announce,
+    Eos,
+    Leave,
+    Crash,
+}
+
+/// One entry of the precomputed, totally ordered event schedule.
+#[derive(Debug, Clone, Copy)]
+struct FleetEvent {
+    at_ns: u64,
+    /// Tie-break rank so same-instant events replay in a fixed order
+    /// (joins first, then traffic, then departures).
+    rank: u8,
+    switch: u32,
+    local: u32,
+    kind: FleetEventKind,
+}
+
+/// Per-switch membership interval derived from the churn schedule.
+#[derive(Debug, Clone, Copy)]
+struct Presence {
+    /// First instant the switch is live.
+    from_ns: u64,
+    /// First instant the switch is gone (`u64::MAX` = never leaves).
+    until_ns: u64,
+    crashes: bool,
+}
+
+/// Outcome of a fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Fleet size the run was configured with.
+    pub switches: u32,
+    /// Controller workers.
+    pub workers: usize,
+    /// Windows whose announcement was sent (started lifecycles).
+    pub started_windows: u64,
+    /// Windows that merged complete batches.
+    pub merged_windows: u64,
+    /// Windows abandoned because their switch crashed mid-window.
+    pub departed_windows: u64,
+    /// Started windows per worker, in worker order.
+    pub per_worker_started: Vec<u64>,
+    /// Reliability counters folded across every worker.
+    pub metrics: ReliabilityMetrics,
+    /// Per-class delivery counters summed over every per-link channel.
+    pub fault_stats: FaultStats,
+    /// The fleet-wide merged view, folded across workers in canonical
+    /// (ascending packed key) order — `encode_merged` on this is the
+    /// byte-identity witness against the lossless baseline.
+    pub merged: Vec<(FlowKey, AttrValue)>,
+}
+
+impl FleetReport {
+    /// Every started window ended its lifecycle: merged or released via
+    /// departure, nothing wedged in between.
+    pub fn all_windows_accounted(&self) -> bool {
+        self.started_windows == self.merged_windows + self.departed_windows
+    }
+}
+
+/// Build the totally ordered event schedule for `cfg`.
+fn schedule(cfg: &FleetConfig) -> (Vec<FleetEvent>, HashMap<u32, Presence>) {
+    let mut presence: HashMap<u32, Presence> = (0..cfg.switches)
+        .map(|s| {
+            (
+                s,
+                Presence {
+                    from_ns: 0,
+                    until_ns: u64::MAX,
+                    crashes: false,
+                },
+            )
+        })
+        .collect();
+    for ev in &cfg.churn {
+        assert!(ev.switch < cfg.switches, "churn references unknown switch");
+        let p = presence.get_mut(&ev.switch).expect("bounded above");
+        match ev.kind {
+            ChurnKind::Join => p.from_ns = p.from_ns.max(ev.at.as_nanos()),
+            ChurnKind::Leave => {
+                p.until_ns = p.until_ns.min(ev.at.as_nanos());
+            }
+            ChurnKind::Crash => {
+                if ev.at.as_nanos() <= p.until_ns {
+                    p.until_ns = ev.at.as_nanos();
+                    p.crashes = true;
+                }
+            }
+        }
+    }
+
+    let mut events: Vec<FleetEvent> = Vec::new();
+    for (&switch, p) in &presence {
+        if p.from_ns > 0 {
+            events.push(FleetEvent {
+                at_ns: p.from_ns,
+                rank: 0,
+                switch,
+                local: 0,
+                kind: FleetEventKind::Join,
+            });
+        }
+        if p.until_ns != u64::MAX {
+            events.push(FleetEvent {
+                at_ns: p.until_ns,
+                rank: 3,
+                switch,
+                local: 0,
+                kind: if p.crashes {
+                    FleetEventKind::Crash
+                } else {
+                    FleetEventKind::Leave
+                },
+            });
+        }
+        for local in 0..cfg.local_windows {
+            let announce = cfg.announce_ns(switch, local);
+            if announce < p.from_ns || announce >= p.until_ns {
+                continue;
+            }
+            events.push(FleetEvent {
+                at_ns: announce,
+                rank: 1,
+                switch,
+                local,
+                kind: FleetEventKind::Announce,
+            });
+            let eos = cfg.eos_ns(switch, local);
+            // A crash swallows the unfinished stream (the crash event
+            // departs it); a graceful leave lets it drain.
+            if !(p.crashes && eos >= p.until_ns) {
+                events.push(FleetEvent {
+                    at_ns: eos,
+                    rank: 2,
+                    switch,
+                    local,
+                    kind: FleetEventKind::Eos,
+                });
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.at_ns, e.rank, e.switch, e.local));
+    (events, presence)
+}
+
+/// Run the fleet to completion and fold the outcome.
+///
+/// When `obs` is attached, every worker reports through it (per-shard
+/// queue depth, reliability folds, lifecycle transitions) and the run
+/// maintains the fleet gauges: `ow_fleet_switches_live` tracks
+/// membership through churn, and `ow_fleet_windows_inflight{worker=…}`
+/// counts announced-but-unfinished windows per worker (both settle to
+/// their final values deterministically). Counter and histogram totals
+/// are deterministic per seed; journal *interleaving* across workers is
+/// not, so determinism checks compare the report, not the journal.
+pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
+    assert!(cfg.switches > 0, "a fleet needs switches");
+    assert!(cfg.records_per_window > 0, "windows must announce records");
+    let (events, presence) = schedule(cfg);
+
+    // The switch-OS retained copies: every announced batch, keyed by
+    // global sub-window. Workers read it from their router threads; the
+    // channel send ordering makes each insert visible before the worker
+    // can ask for it. Crash churn never mutates this map — windows whose
+    // stream finished before the crash still recover from retained data.
+    let store: Arc<Mutex<HashMap<u32, Vec<FlowRecord>>>> = Arc::new(Mutex::new(HashMap::new()));
+    // Windows whose retransmission back-channel is forced dead (the
+    // escalation drill), fixed before any worker starts.
+    let dead: Arc<HashSet<u32>> = {
+        let mut dead = HashSet::new();
+        if cfg.escalate_every > 0 {
+            let mut ordinal = 0u32;
+            for ev in &events {
+                if ev.kind == FleetEventKind::Announce {
+                    ordinal += 1;
+                    if ordinal % cfg.escalate_every == 0 {
+                        dead.insert(global_subwindow(ev.switch, ev.local));
+                    }
+                }
+            }
+        }
+        Arc::new(dead)
+    };
+
+    // Per-worker window counts size each worker's sliding span so no
+    // window is evicted before shutdown (the fleet compares *complete*
+    // merged views; sliding retention is exercised elsewhere).
+    let mut per_worker_started = vec![0u64; cfg.workers];
+    for ev in &events {
+        if ev.kind == FleetEventKind::Announce {
+            per_worker_started[worker_of(ev.switch, cfg.workers)] += 1;
+        }
+    }
+
+    let workers: Vec<ReliableLiveController> = (0..cfg.workers)
+        .map(|w| {
+            let retrans_store = store.clone();
+            let retrans_dead = dead.clone();
+            let os_store = store.clone();
+            ReliableLiveController::spawn_sharded_obs(
+                (per_worker_started[w] as usize).max(1) + 1,
+                256,
+                RetryPolicy::default(),
+                Box::new(move |sw, seqs| {
+                    if retrans_dead.contains(&sw) {
+                        return Vec::new();
+                    }
+                    let store = retrans_store.lock().expect("store lock");
+                    let batch = &store[&sw];
+                    seqs.iter().map(|&s| batch[s as usize]).collect()
+                }),
+                Box::new(move |sw| {
+                    let store = os_store.lock().expect("store lock");
+                    (store[&sw].clone(), Duration::from_millis(2))
+                }),
+                cfg.shards_per_worker.max(1),
+                obs,
+            )
+        })
+        .collect();
+
+    let live_gauge: Option<Gauge> = obs.map(|o| o.gauge("ow_fleet_switches_live", &[]));
+    let inflight_gauges: Option<Vec<Gauge>> = obs.map(|o| {
+        (0..cfg.workers)
+            .map(|w| o.gauge("ow_fleet_windows_inflight", &[("worker", &w.to_string())]))
+            .collect()
+    });
+    if let Some(g) = &live_gauge {
+        let initially_live = presence.values().filter(|p| p.from_ns == 0).count();
+        g.set(initially_live as u64);
+    }
+
+    // Per-switch lossy links: a baseline channel plus a degraded burst
+    // channel, both privately seeded so the draw sequences are fixed by
+    // the schedule alone.
+    let mut channels: HashMap<u32, (LossyChannel, LossyChannel)> = (0..cfg.switches)
+        .map(|s| {
+            let base = LossyChannel::new(FaultConfig::afr_loss(
+                cfg.seed ^ mix64(s as u64),
+                cfg.afr_loss,
+            ));
+            let burst_loss = cfg
+                .bursts
+                .iter()
+                .find(|b| b.rack == cfg.rack_of(s))
+                .map_or(cfg.afr_loss, |b| b.loss);
+            let burst = LossyChannel::new(FaultConfig::afr_loss(
+                cfg.seed ^ mix64(s as u64 | 1 << 40),
+                burst_loss,
+            ));
+            (s, (base, burst))
+        })
+        .collect();
+    let in_burst = |switch: u32, at_ns: u64| {
+        cfg.bursts.iter().any(|b| {
+            b.rack == cfg.rack_of(switch)
+                && at_ns >= b.from.as_nanos()
+                && at_ns < b.until.as_nanos()
+        })
+    };
+
+    // Replay the schedule: every message lands on its worker in this
+    // deterministic order.
+    let mut started = 0u64;
+    let mut departed = 0u64;
+    let mut inflight: HashMap<u32, Vec<(u32, usize)>> = HashMap::new();
+    for ev in &events {
+        let worker = worker_of(ev.switch, cfg.workers);
+        match ev.kind {
+            FleetEventKind::Join => {
+                if let Some(g) = &live_gauge {
+                    g.inc();
+                }
+            }
+            FleetEventKind::Announce => {
+                let global = global_subwindow(ev.switch, ev.local);
+                let batch = cfg.workload(ev.switch, ev.local);
+                store
+                    .lock()
+                    .expect("store lock")
+                    .insert(global, batch.clone());
+                workers[worker]
+                    .sender
+                    .send(ReliableMsg::Announce {
+                        subwindow: global,
+                        announced: batch.len() as u32,
+                    })
+                    .expect("worker alive");
+                let (base, burst) = channels.get_mut(&ev.switch).expect("declared switch");
+                let channel = if in_burst(ev.switch, ev.at_ns) {
+                    burst
+                } else {
+                    base
+                };
+                for rec in channel.transmit(PacketClass::AfrReport, batch) {
+                    workers[worker]
+                        .sender
+                        .send(ReliableMsg::Afr(rec))
+                        .expect("worker alive");
+                }
+                started += 1;
+                inflight
+                    .entry(ev.switch)
+                    .or_default()
+                    .push((global, worker));
+                if let Some(gauges) = &inflight_gauges {
+                    gauges[worker].inc();
+                }
+            }
+            FleetEventKind::Eos => {
+                let global = global_subwindow(ev.switch, ev.local);
+                workers[worker]
+                    .sender
+                    .send(ReliableMsg::EndOfStream { subwindow: global })
+                    .expect("worker alive");
+                if let Some(open) = inflight.get_mut(&ev.switch) {
+                    open.retain(|&(g, _)| g != global);
+                }
+                if let Some(gauges) = &inflight_gauges {
+                    gauges[worker].dec();
+                }
+            }
+            FleetEventKind::Leave => {
+                if let Some(g) = &live_gauge {
+                    g.dec();
+                }
+            }
+            FleetEventKind::Crash => {
+                if let Some(g) = &live_gauge {
+                    g.dec();
+                }
+                for (global, w) in inflight.remove(&ev.switch).unwrap_or_default() {
+                    workers[w]
+                        .sender
+                        .send(ReliableMsg::Depart { subwindow: global })
+                        .expect("worker alive");
+                    departed += 1;
+                    if let Some(gauges) = &inflight_gauges {
+                        gauges[w].dec();
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain the tier and fold the outcome.
+    let mut metrics = ReliabilityMetrics::default();
+    let mut merged_windows = 0u64;
+    let mut folded: BTreeMap<u128, (FlowKey, AttrValue)> = BTreeMap::new();
+    for ctl in workers {
+        let handle = ctl.handle.clone();
+        metrics.merge(&ctl.join());
+        merged_windows += handle.subwindows().len() as u64;
+        for (key, value) in handle.snapshot() {
+            match folded.entry(key.as_u128()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut()
+                        .1
+                        .merge(&value)
+                        .expect("one merge kind per key in the fleet workload");
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((key, value));
+                }
+            }
+        }
+    }
+    let mut fault_stats = FaultStats::default();
+    for (base, burst) in channels.values() {
+        fault_stats.merge(base.stats());
+        fault_stats.merge(burst.stats());
+    }
+    FleetReport {
+        switches: cfg.switches,
+        workers: cfg.workers,
+        started_windows: started,
+        merged_windows,
+        departed_windows: departed,
+        per_worker_started,
+        metrics,
+        fault_stats,
+        merged: folded.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_assignment_is_stable_and_minimally_disruptive() {
+        let before: Vec<usize> = (0..256).map(|s| worker_of(s, 8)).collect();
+        // Deterministic.
+        assert_eq!(
+            before,
+            (0..256).map(|s| worker_of(s, 8)).collect::<Vec<_>>()
+        );
+        // Every worker serves someone.
+        for w in 0..8 {
+            assert!(before.contains(&w), "worker {w} unused");
+        }
+        // Growing the tier only moves switches *onto* the new worker.
+        let after: Vec<usize> = (0..256).map(|s| worker_of(s, 9)).collect();
+        let moved = before
+            .iter()
+            .zip(&after)
+            .filter(|(b, a)| b != a)
+            .collect::<Vec<_>>();
+        assert!(!moved.is_empty(), "the new worker takes some load");
+        assert!(
+            moved.iter().all(|(_, &a)| a == 8),
+            "moves only target the new worker"
+        );
+    }
+
+    #[test]
+    fn global_subwindow_round_trips() {
+        for switch in [0u32, 1, 511, (1 << 23) - 1] {
+            for local in [0u32, 1, 255] {
+                assert_eq!(subwindow_switch(global_subwindow(switch, local)), switch);
+            }
+        }
+    }
+
+    #[test]
+    fn stagger_spreads_the_fleet_across_the_period() {
+        let cfg = FleetConfig {
+            switches: 128,
+            ..FleetConfig::default()
+        };
+        let offsets: HashSet<u64> = (0..cfg.switches).map(|s| cfg.stagger_ns(s)).collect();
+        assert!(
+            offsets.len() > 100,
+            "128 switches landed on only {} distinct offsets",
+            offsets.len()
+        );
+        let period = cfg.subwindow_len.as_nanos();
+        assert!(offsets.iter().all(|&o| o < period));
+    }
+
+    #[test]
+    fn small_lossless_fleet_merges_every_window() {
+        let cfg = FleetConfig {
+            switches: 8,
+            workers: 2,
+            local_windows: 3,
+            afr_loss: 0.0,
+            ..FleetConfig::default()
+        };
+        let report = run(&cfg, None);
+        assert_eq!(report.started_windows, 24);
+        assert_eq!(report.merged_windows, 24);
+        assert_eq!(report.departed_windows, 0);
+        assert!(report.all_windows_accounted());
+        assert!(report.metrics.lossless());
+        assert_eq!(report.metrics.announced, 24 * 24);
+        assert_eq!(report.per_worker_started.iter().sum::<u64>(), 24);
+    }
+
+    #[test]
+    fn crash_churn_departs_only_unfinished_windows() {
+        let cfg = FleetConfig {
+            switches: 4,
+            workers: 2,
+            local_windows: 4,
+            afr_loss: 0.0,
+            // Crash switch 1 mid-run: whatever it announced without
+            // finishing departs; everything else merges.
+            churn: vec![ChurnEvent {
+                at: Duration::from_micros(1_700),
+                switch: 1,
+                kind: ChurnKind::Crash,
+            }],
+            ..FleetConfig::default()
+        };
+        let report = run(&cfg, None);
+        assert!(report.all_windows_accounted());
+        assert!(
+            report.started_windows < 16,
+            "the crash cancels later windows"
+        );
+        assert_eq!(report.metrics.departed, report.departed_windows);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_report() {
+        let cfg = FleetConfig {
+            switches: 16,
+            workers: 3,
+            afr_loss: 0.2,
+            escalate_every: 5,
+            churn: vec![
+                ChurnEvent {
+                    at: Duration::from_micros(1_200),
+                    switch: 3,
+                    kind: ChurnKind::Crash,
+                },
+                ChurnEvent {
+                    at: Duration::from_micros(2_500),
+                    switch: 9,
+                    kind: ChurnKind::Leave,
+                },
+            ],
+            ..FleetConfig::default()
+        };
+        let a = run(&cfg, None);
+        let b = run(&cfg, None);
+        assert_eq!(a.started_windows, b.started_windows);
+        assert_eq!(a.merged_windows, b.merged_windows);
+        assert_eq!(a.departed_windows, b.departed_windows);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.merged, b.merged);
+    }
+}

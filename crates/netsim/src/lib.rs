@@ -11,6 +11,10 @@
 //! * [`fault`] — deterministic fault injection for the AFR collection
 //!   path: a seeded per-packet-class lossy channel (drop / duplicate /
 //!   reorder / delay) driving the §8 reliability experiments,
+//! * [`fleet`] — fleet-scale simulation: 100–1000 switches
+//!   rendezvous-hashed onto N sharded controller workers, with phase
+//!   staggering, rack-correlated loss bursts, and join/leave/crash
+//!   churn (the chaos acceptance suite's engine),
 //! * [`lossradar`] — LossRadar (Li et al., CoNEXT'16): per-sub-window
 //!   packet digests in invertible Bloom lookup tables whose difference
 //!   decodes to exactly the packets lost on the link — *provided* both
@@ -23,11 +27,16 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod fleet;
 pub mod lossradar;
 pub mod sim;
 pub mod topology;
 
 pub use fault::{ClassProfile, ClassStats, FaultConfig, FaultStats, LossyChannel, PacketClass};
+pub use fleet::{
+    global_subwindow, subwindow_switch, worker_of, ChurnEvent, ChurnKind, FleetConfig, FleetReport,
+    RackBurst,
+};
 pub use lossradar::{LossRadarMeter, WindowAssign};
 pub use sim::{Link, NetSim, NodeConfig};
-pub use topology::{TopologyBuilder, VerifiedPath};
+pub use topology::{LivePath, TopologyBuilder, TopologyError, VerifiedPath};

@@ -42,11 +42,81 @@ pub struct LivePath<A> {
     pub controller: LiveController,
 }
 
+/// A structurally invalid topology, rejected before any switch is
+/// verified or constructed.
+#[derive(Debug)]
+pub enum TopologyError {
+    /// Two nodes declared the same id.
+    DuplicateNodeId(String),
+    /// A link referenced a node id that was never declared.
+    UnknownEndpoint {
+        /// Index of the offending link, in declaration order.
+        link: usize,
+        /// The undeclared node id the link referenced.
+        id: String,
+    },
+    /// A named link connected two nodes that are not consecutive on the
+    /// path ([`NetSim::path`] is strictly linear).
+    NonAdjacentLink {
+        /// Index of the offending link, in declaration order.
+        link: usize,
+        /// The link's upstream endpoint id.
+        from: String,
+        /// The link's downstream endpoint id.
+        to: String,
+    },
+    /// A node's derived pipeline program failed static verification;
+    /// the boxed report carries its diagnostics.
+    Verify(Box<VerifyReport>),
+}
+
+impl core::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TopologyError::DuplicateNodeId(id) => {
+                write!(f, "duplicate node id '{id}' in topology")
+            }
+            TopologyError::UnknownEndpoint { link, id } => {
+                write!(f, "link {link} references undeclared node '{id}'")
+            }
+            TopologyError::NonAdjacentLink { link, from, to } => write!(
+                f,
+                "link {link} connects '{from}' and '{to}', which are not \
+                 consecutive on the path"
+            ),
+            TopologyError::Verify(report) => write!(f, "{report}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl From<Box<VerifyReport>> for TopologyError {
+    fn from(report: Box<VerifyReport>) -> TopologyError {
+        TopologyError::Verify(report)
+    }
+}
+
+impl TopologyError {
+    /// The verification report, when the failure came from `ow-verify`.
+    pub fn verify_report(&self) -> Option<&VerifyReport> {
+        match self {
+            TopologyError::Verify(report) => Some(report),
+            _ => None,
+        }
+    }
+}
+
 /// Builder for a linear path of verified OmniWindow switches.
 #[derive(Debug, Clone)]
 pub struct TopologyBuilder {
     nodes: Vec<NodeConfig>,
+    node_ids: Vec<String>,
     links: Vec<Link>,
+    /// Declared endpoints per link (`None` for positional
+    /// [`TopologyBuilder::link`] calls, which are adjacent by
+    /// construction).
+    link_endpoints: Vec<Option<(String, String)>>,
     seed: u64,
     shards: usize,
     obs: Option<Obs>,
@@ -65,7 +135,9 @@ impl TopologyBuilder {
     pub fn new(seed: u64) -> TopologyBuilder {
         TopologyBuilder {
             nodes: Vec::new(),
+            node_ids: Vec::new(),
             links: Vec::new(),
+            link_endpoints: Vec::new(),
             seed,
             shards: ow_controller::live::shards_from_env(),
             obs: None,
@@ -89,16 +161,76 @@ impl TopologyBuilder {
         self
     }
 
-    /// Append a node (the first node becomes the stamping first hop).
-    pub fn node(mut self, cfg: NodeConfig) -> Self {
+    /// Append a node (the first node becomes the stamping first hop),
+    /// auto-named `node<index>`.
+    pub fn node(self, cfg: NodeConfig) -> Self {
+        let id = format!("node{}", self.nodes.len());
+        self.named_node(id, cfg)
+    }
+
+    /// Append a node under an explicit id. Duplicate ids are rejected at
+    /// build time with [`TopologyError::DuplicateNodeId`].
+    pub fn named_node(mut self, id: impl Into<String>, cfg: NodeConfig) -> Self {
         self.nodes.push(cfg);
+        self.node_ids.push(id.into());
         self
     }
 
     /// Append the link connecting the last added node to the next one.
     pub fn link(mut self, link: Link) -> Self {
         self.links.push(link);
+        self.link_endpoints.push(None);
         self
+    }
+
+    /// Append a link declared by its endpoint ids. Both ids must name
+    /// declared nodes ([`TopologyError::UnknownEndpoint`] otherwise) and
+    /// the pair must be consecutive on the path
+    /// ([`TopologyError::NonAdjacentLink`]) — checked at build time,
+    /// before any switch is verified.
+    pub fn link_between(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        link: Link,
+    ) -> Self {
+        self.links.push(link);
+        self.link_endpoints.push(Some((from.into(), to.into())));
+        self
+    }
+
+    /// Reject structurally broken topologies: duplicate node ids, links
+    /// whose declared endpoints were never declared as nodes, and named
+    /// links that skip over the linear path.
+    fn validate(&self) -> Result<(), TopologyError> {
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for id in &self.node_ids {
+            if !seen.insert(id.as_str()) {
+                return Err(TopologyError::DuplicateNodeId(id.clone()));
+            }
+        }
+        for (index, endpoints) in self.link_endpoints.iter().enumerate() {
+            let Some((from, to)) = endpoints else {
+                continue;
+            };
+            let position = |id: &String| self.node_ids.iter().position(|n| n == id);
+            let from_pos = position(from).ok_or_else(|| TopologyError::UnknownEndpoint {
+                link: index,
+                id: from.clone(),
+            })?;
+            let to_pos = position(to).ok_or_else(|| TopologyError::UnknownEndpoint {
+                link: index,
+                id: to.clone(),
+            })?;
+            if to_pos != from_pos + 1 {
+                return Err(TopologyError::NonAdjacentLink {
+                    link: index,
+                    from: from.clone(),
+                    to: to.clone(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Verify and build every switch on the path, then the simulator.
@@ -106,7 +238,9 @@ impl TopologyBuilder {
     /// `app` is called as `app(node_index, region)` to create the two
     /// per-region application instances of each node. The first node is
     /// configured as the stamping first hop; downstream nodes adopt
-    /// stamps (§4.2). Any node whose derived pipeline program fails
+    /// stamps (§4.2). A structurally broken topology (duplicate node
+    /// id, link referencing an undeclared node) is rejected before any
+    /// switch exists; any node whose derived pipeline program fails
     /// static verification aborts the build with its report.
     ///
     /// # Panics
@@ -116,11 +250,12 @@ impl TopologyBuilder {
         self,
         cfg: &SwitchConfig,
         mut app: F,
-    ) -> Result<VerifiedPath<A>, Box<VerifyReport>>
+    ) -> Result<VerifiedPath<A>, TopologyError>
     where
         A: DataPlaneApp,
         F: FnMut(usize, usize) -> A,
     {
+        self.validate()?;
         let mut switches = Vec::with_capacity(self.nodes.len());
         for i in 0..self.nodes.len() {
             let node_cfg = SwitchConfig {
@@ -153,7 +288,7 @@ impl TopologyBuilder {
         app: F,
         window_subwindows: usize,
         queue_depth: usize,
-    ) -> Result<LivePath<A>, Box<VerifyReport>>
+    ) -> Result<LivePath<A>, TopologyError>
     where
         A: DataPlaneApp,
         F: FnMut(usize, usize) -> A,
@@ -308,7 +443,7 @@ mod tests {
     fn unverifiable_node_rejects_the_topology() {
         // An fk_buffer this size cannot fit any stage's SRAM budget; the
         // topology must be rejected before any switch is constructed.
-        let report = TopologyBuilder::new(7)
+        let err = TopologyBuilder::new(7)
             .node(NodeConfig::default())
             .build_verified(
                 &SwitchConfig {
@@ -319,9 +454,75 @@ mod tests {
                 app,
             )
             .expect_err("oversized pipeline must be rejected");
+        let report = err.verify_report().expect("verification failure");
         assert!(
             report.has_code(ow_verify::ErrorCode::SramOverflow),
             "{report}"
         );
+    }
+
+    #[test]
+    fn duplicate_node_ids_reject_the_topology() {
+        let err = TopologyBuilder::new(7)
+            .named_node("tor-a", NodeConfig::default())
+            .link(Link::default())
+            .named_node("tor-a", NodeConfig::default())
+            .build_verified(&SwitchConfig::default(), app)
+            .expect_err("duplicate id must be rejected");
+        assert!(matches!(&err, TopologyError::DuplicateNodeId(id) if id == "tor-a"));
+        assert_eq!(err.to_string(), "duplicate node id 'tor-a' in topology");
+    }
+
+    #[test]
+    fn link_referencing_undeclared_node_rejects_the_topology() {
+        let err = TopologyBuilder::new(7)
+            .named_node("tor-a", NodeConfig::default())
+            .link_between("tor-a", "tor-z", Link::default())
+            .named_node("tor-b", NodeConfig::default())
+            .build_verified(&SwitchConfig::default(), app)
+            .expect_err("undeclared endpoint must be rejected");
+        assert!(
+            matches!(&err, TopologyError::UnknownEndpoint { link: 0, id } if id == "tor-z"),
+            "{err}"
+        );
+        assert_eq!(err.to_string(), "link 0 references undeclared node 'tor-z'");
+    }
+
+    #[test]
+    fn non_adjacent_named_link_rejects_the_topology() {
+        let err = TopologyBuilder::new(7)
+            .named_node("a", NodeConfig::default())
+            .link_between("a", "c", Link::default())
+            .named_node("b", NodeConfig::default())
+            .named_node("c", NodeConfig::default())
+            .build_verified(&SwitchConfig::default(), app)
+            .expect_err("path-skipping link must be rejected");
+        assert!(
+            matches!(err, TopologyError::NonAdjacentLink { link: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn named_adjacent_links_build() {
+        let path = TopologyBuilder::new(7)
+            .named_node("tor-a", NodeConfig::default())
+            .link_between("tor-a", "tor-b", Link::default())
+            .named_node(
+                "tor-b",
+                NodeConfig {
+                    clock_offset_ns: 900,
+                },
+            )
+            .build_verified(
+                &SwitchConfig {
+                    fk_capacity: 1024,
+                    expected_flows: 4096,
+                    ..SwitchConfig::default()
+                },
+                app,
+            )
+            .expect("adjacent named link verifies");
+        assert_eq!(path.switches.len(), 2);
     }
 }

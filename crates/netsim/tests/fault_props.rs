@@ -1,0 +1,146 @@
+//! Property-based conservation of the lossy channel's accounting.
+//!
+//! Whatever fault profile a channel runs — loss, duplication,
+//! reordering, any mix — its per-class [`ClassStats`] must balance:
+//! every offered packet is either delivered or dropped, duplicates are
+//! *extra* delivered copies on top, and no counter ever leaks across
+//! classes. The fleet sums these counters over hundreds of per-link
+//! channels, so a single-channel imbalance would silently corrupt every
+//! fleet report.
+
+use ow_common::time::Duration;
+use ow_netsim::{ClassProfile, FaultConfig, LossyChannel, PacketClass};
+use proptest::prelude::*;
+
+/// An arbitrary per-class profile: independent loss, duplication, and
+/// reorder probabilities (delay/jitter don't touch the counters but are
+/// generated anyway to prove they don't).
+fn arb_profile() -> impl Strategy<Value = ClassProfile> {
+    (
+        0.0f64..0.9,
+        0.0f64..0.9,
+        0.0f64..0.9,
+        0u64..1_000,
+        0u64..500,
+    )
+        .prop_map(
+            |(loss, duplicate, reorder, delay_us, jitter_us)| ClassProfile {
+                loss,
+                duplicate,
+                reorder,
+                delay: Duration::from_micros(delay_us),
+                jitter: Duration::from_micros(jitter_us),
+            },
+        )
+}
+
+/// A full config plus a transmit script: which class each batch goes
+/// to, and how large each batch is.
+fn arb_case() -> impl Strategy<Value = (FaultConfig, Vec<(u8, u16)>)> {
+    let cfg = (
+        any::<u64>(),
+        arb_profile(),
+        arb_profile(),
+        arb_profile(),
+        arb_profile(),
+    )
+        .prop_map(
+            |(seed, afr, trigger, retransmit_request, retransmit_data)| FaultConfig {
+                seed,
+                afr,
+                trigger,
+                retransmit_request,
+                retransmit_data,
+            },
+        );
+    let script = proptest::collection::vec((0u8..4, 0u16..80), 0..24);
+    (cfg, script)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For every class, after any transmit script:
+    /// `offered == (delivered − duplicated) + dropped` — each offered
+    /// packet either arrives (once, plus `duplicated` extra copies) or
+    /// is dropped — and `reordered ≤ delivered`, and classes never
+    /// bleed into each other (untouched classes stay zero).
+    #[test]
+    fn per_class_counters_conserve_packets((cfg, script) in arb_case()) {
+        let mut channel = LossyChannel::new(cfg);
+        let mut offered_per_class = [0u64; 4];
+        let mut returned_per_class = [0u64; 4];
+        for &(class_idx, batch_len) in &script {
+            let class = PacketClass::ALL[class_idx as usize];
+            offered_per_class[class_idx as usize] += batch_len as u64;
+            let payload: Vec<u32> = (0..batch_len as u32).collect();
+            returned_per_class[class_idx as usize] +=
+                channel.transmit(class, payload).len() as u64;
+        }
+
+        let stats = channel.stats();
+        for (idx, &class) in PacketClass::ALL.iter().enumerate() {
+            let c = stats.class(class);
+            prop_assert_eq!(
+                c.offered,
+                offered_per_class[idx],
+                "class {:?} offered-count drifted from the script", class
+            );
+            prop_assert_eq!(
+                c.delivered,
+                returned_per_class[idx],
+                "class {:?} counted {} delivered but returned {} items",
+                class, c.delivered, returned_per_class[idx]
+            );
+            prop_assert_eq!(
+                c.offered,
+                (c.delivered - c.duplicated) + c.dropped,
+                "class {:?} leaked packets: offered {} delivered {} duplicated {} dropped {}",
+                class, c.offered, c.delivered, c.duplicated, c.dropped
+            );
+            prop_assert!(
+                c.duplicated <= c.delivered,
+                "class {:?} duplicated {} > delivered {}", class, c.duplicated, c.delivered
+            );
+            prop_assert!(
+                c.reordered <= c.delivered,
+                "class {:?} reordered {} > delivered {}", class, c.reordered, c.delivered
+            );
+        }
+    }
+
+    /// The totals fold: summing any partition of channels with
+    /// `FaultStats::merge` conserves the same balance, so the fleet's
+    /// per-link aggregation cannot create or lose packets.
+    #[test]
+    fn merged_stats_conserve_across_channels(
+        (cfg_a, script_a) in arb_case(),
+        (cfg_b, script_b) in arb_case(),
+    ) {
+        let run = |cfg: FaultConfig, script: &[(u8, u16)]| {
+            let mut ch = LossyChannel::new(cfg);
+            for &(class_idx, batch_len) in script {
+                let payload: Vec<u32> = (0..batch_len as u32).collect();
+                ch.transmit(PacketClass::ALL[class_idx as usize], payload);
+            }
+            *ch.stats()
+        };
+        let a = run(cfg_a, &script_a);
+        let b = run(cfg_b, &script_b);
+        let mut total = a;
+        total.merge(&b);
+        for &class in &PacketClass::ALL {
+            let (ta, tb, t) = (a.class(class), b.class(class), total.class(class));
+            prop_assert_eq!(t.offered, ta.offered + tb.offered);
+            prop_assert_eq!(t.delivered, ta.delivered + tb.delivered);
+            prop_assert_eq!(t.dropped, ta.dropped + tb.dropped);
+            prop_assert_eq!(t.duplicated, ta.duplicated + tb.duplicated);
+            prop_assert_eq!(t.reordered, ta.reordered + tb.reordered);
+            prop_assert_eq!(
+                t.offered,
+                (t.delivered - t.duplicated) + t.dropped,
+                "merged class {:?} lost the balance", class
+            );
+        }
+    }
+}

@@ -256,6 +256,8 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
         out.push('\n');
     }
 
+    out.push_str(&render_fleet(metrics));
+
     let histos: Vec<&Value> = metrics
         .iter()
         .filter(|m| m.field("kind").and_then(Value::as_str) == Some("histogram"))
@@ -323,6 +325,39 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
     Ok(out)
 }
 
+/// Summarize the fleet gauges (`ow_fleet_switches_live`,
+/// `ow_fleet_windows_inflight{worker=…}`) when a snapshot carries them;
+/// empty for non-fleet runs.
+fn render_fleet(metrics: &[Value]) -> String {
+    let live = metrics
+        .iter()
+        .find(|m| m.field("name").and_then(Value::as_str) == Some("ow_fleet_switches_live"));
+    let inflight: Vec<&Value> = metrics
+        .iter()
+        .filter(|m| m.field("name").and_then(Value::as_str) == Some("ow_fleet_windows_inflight"))
+        .collect();
+    if live.is_none() && inflight.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("== fleet ==\n");
+    if let Some(m) = live {
+        let v = m.field("value").and_then(Value::as_u64).unwrap_or(0);
+        out.push_str(&format!("switches live: {v}\n"));
+    }
+    if !inflight.is_empty() {
+        let total: u64 = inflight
+            .iter()
+            .map(|m| m.field("value").and_then(Value::as_u64).unwrap_or(0))
+            .sum();
+        out.push_str(&format!(
+            "windows in flight: {total} across {} worker(s)\n",
+            inflight.len()
+        ));
+    }
+    out.push('\n');
+    out
+}
+
 fn render_prometheus(metrics: &[Value]) -> Result<String, String> {
     // Rebuild exposition text from the snapshot JSON (scalar series
     // only carry their value; histograms re-expand to buckets).
@@ -384,4 +419,33 @@ fn render_prometheus(metrics: &[Value]) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_gauges_render_a_fleet_section() {
+        let obs = ow_obs::Obs::new();
+        obs.gauge("ow_fleet_switches_live", &[]).set(30);
+        obs.gauge("ow_fleet_windows_inflight", &[("worker", "0")])
+            .set(3);
+        obs.gauge("ow_fleet_windows_inflight", &[("worker", "1")])
+            .set(4);
+        let doc = parse(&obs.report("fleet").to_json()).expect("report parses");
+        let rendered = render(&doc, 0, false).expect("snapshot renders");
+        assert!(rendered.contains("== fleet =="));
+        assert!(rendered.contains("switches live: 30"));
+        assert!(rendered.contains("windows in flight: 7 across 2 worker(s)"));
+    }
+
+    #[test]
+    fn non_fleet_snapshots_render_no_fleet_section() {
+        let obs = ow_obs::Obs::new();
+        obs.counter("ow_controller_sessions_total", &[]).inc();
+        let doc = parse(&obs.report("plain").to_json()).expect("report parses");
+        let rendered = render(&doc, 0, false).expect("snapshot renders");
+        assert!(!rendered.contains("== fleet =="));
+    }
 }

@@ -170,6 +170,8 @@ impl Obs {
             .add(m.escalations);
         self.counter("ow_controller_backpressure_dropped_total", &[])
             .add(m.dropped);
+        self.counter("ow_controller_departed_sessions_total", &[])
+            .add(m.departed);
         self.histogram("ow_controller_cr_phase_duration", &[("phase", "recovery")])
             .record(m.wall_clock);
     }
@@ -329,6 +331,7 @@ mod tests {
             duplicates: 1,
             escalations: 1,
             dropped: 0,
+            departed: 1,
             wall_clock: Duration::from_micros(400),
         };
         obs.fold_reliability(&session);
@@ -337,6 +340,7 @@ mod tests {
         assert_eq!(snap.value("ow_controller_afr_announced_total", &[]), 20);
         assert_eq!(snap.value("ow_controller_retransmit_rounds", &[]), 4);
         assert_eq!(snap.value("ow_controller_escalations_total", &[]), 2);
+        assert_eq!(snap.value("ow_controller_departed_sessions_total", &[]), 2);
         let h = snap
             .get("ow_controller_cr_phase_duration", &[("phase", "recovery")])
             .unwrap()

@@ -4,7 +4,9 @@
 //! controller's own metrics and for byte-identical determinism.
 
 use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
-use ow_obs::{check_exposition, prometheus_text};
+use ow_common::time::Duration;
+use ow_netsim::fleet::{self, ChurnEvent, ChurnKind, FleetConfig};
+use ow_obs::{check_exposition, prometheus_text, Obs};
 
 fn acceptance_cfg() -> ObsSmokeConfig {
     ObsSmokeConfig {
@@ -70,6 +72,71 @@ fn lossy_sharded_run_snapshot_meets_acceptance() {
 
     // The whole snapshot renders to a valid Prometheus exposition.
     check_exposition(&prometheus_text(&snap)).expect("exposition line format");
+}
+
+#[test]
+fn fleet_run_exposes_fleet_gauges() {
+    let obs = Obs::new();
+    let mut cfg = FleetConfig {
+        switches: 16,
+        workers: 3,
+        afr_loss: 0.20,
+        seed: 11,
+        ..FleetConfig::default()
+    };
+    // Crash one switch 100µs into its second window's stream (its
+    // stagger offset is seed-derived, so aim relative to it) and let
+    // another leave gracefully near the end.
+    let crash_at = 1_000 + cfg.stagger_ns(2) / 1_000 + 100;
+    cfg.churn = vec![
+        ChurnEvent {
+            at: Duration::from_micros(crash_at),
+            switch: 2,
+            kind: ChurnKind::Crash,
+        },
+        ChurnEvent {
+            at: Duration::from_micros(3_800),
+            switch: 5,
+            kind: ChurnKind::Leave,
+        },
+    ];
+    let report = fleet::run(&cfg, Some(&obs));
+    assert!(report.all_windows_accounted());
+    assert!(report.departed_windows > 0, "the crash departed a window");
+
+    let snap = obs.snapshot();
+
+    // Membership gauge: 16 switches minus the crash and the leave.
+    let live = snap
+        .get("ow_fleet_switches_live", &[])
+        .expect("fleet membership gauge present");
+    assert_eq!(live.kind, "gauge");
+    assert_eq!(live.value, 14);
+
+    // Per-worker in-flight gauges: present for every worker, settled to
+    // zero once every window merged or departed.
+    for worker in 0..3u32 {
+        let g = snap
+            .get(
+                "ow_fleet_windows_inflight",
+                &[("worker", &worker.to_string())],
+            )
+            .unwrap_or_else(|| panic!("in-flight gauge for worker {worker} missing"));
+        assert_eq!(g.kind, "gauge");
+        assert_eq!(g.value, 0, "worker {worker} still shows in-flight windows");
+    }
+
+    // The departure path reported through the same registry.
+    assert_eq!(
+        snap.value("ow_controller_departed_sessions_total", &[]),
+        report.departed_windows
+    );
+
+    // Fleet gauges survive the text exposition.
+    let text = prometheus_text(&snap);
+    assert!(text.contains("ow_fleet_switches_live"));
+    assert!(text.contains("ow_fleet_windows_inflight"));
+    check_exposition(&text).expect("exposition line format");
 }
 
 #[test]

@@ -12,8 +12,12 @@
 use std::collections::{HashMap, HashSet};
 
 use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
+use ow_common::afr::FlowRecord;
+use ow_common::flowkey::FlowKey;
 use ow_common::time::Duration;
-use ow_obs::{validate_trace_json, TraceReport};
+use ow_controller::live::{ReliableLiveController, ReliableMsg};
+use ow_controller::reliability::RetryPolicy;
+use ow_obs::{validate_trace_json, Obs, TraceContext, TraceReport, Traced};
 
 fn lossy_cfg() -> ObsSmokeConfig {
     ObsSmokeConfig {
@@ -182,4 +186,152 @@ fn traces_are_disjoint_per_window_and_cover_all_collected_windows() {
             .value("ow_controller_sessions_total", &[]),
         "every completed session left a span tree"
     );
+}
+
+/// Mid-window switch departure: one switch vanishes after a partial
+/// stream (its session must release, not wedge), while a surviving
+/// switch whose retransmit back-channel is dead must still merge via
+/// the OS-read escalation — and both windows' recovery-timeline traces
+/// stay single-rooted and complete.
+#[test]
+fn departed_and_escalated_windows_leave_complete_single_rooted_traces() {
+    let obs = Obs::new();
+    let batch: Vec<FlowRecord> = (0..4)
+        .map(|i| {
+            let mut rec = FlowRecord::frequency(FlowKey::src_ip(100 + i), 10, 0);
+            rec.seq = i;
+            rec
+        })
+        .collect();
+    let os_batch = batch.clone();
+    let ctl = ReliableLiveController::spawn_sharded_obs(
+        8,
+        64,
+        RetryPolicy::default(),
+        // Dead back-channel: every retransmission round returns nothing,
+        // forcing the surviving session to escalate.
+        Box::new(|_, _| Vec::new()),
+        Box::new(move |sw| {
+            let mut full = os_batch.clone();
+            for rec in &mut full {
+                rec.subwindow = sw;
+            }
+            (full, Duration::from_millis(2))
+        }),
+        2,
+        Some(&obs),
+    );
+
+    let tracer = obs.tracer().clone();
+    let ctx_for = |sw: u32| {
+        let trace = tracer.start_window(sw, "switch", 0);
+        let collect = tracer
+            .span(trace, trace, "collect", "switch", None, 0, 1)
+            .expect("collect span under a live trace");
+        TraceContext {
+            trace_id: trace,
+            root: trace,
+            collect,
+            anchor_ns: 1,
+        }
+    };
+
+    // Sub-window 0: announced, half-streamed, then its switch departs.
+    let departing = ctx_for(0);
+    ctl.sender
+        .send(ReliableMsg::TracedAnnounce {
+            subwindow: 0,
+            announced: batch.len() as u32,
+            ctx: departing,
+        })
+        .unwrap();
+    for rec in batch.iter().take(2) {
+        ctl.sender
+            .send(ReliableMsg::TracedAfr(Traced::new(departing, *rec)))
+            .unwrap();
+    }
+    ctl.sender
+        .send(ReliableMsg::Depart { subwindow: 0 })
+        .unwrap();
+
+    // Sub-window 1: announced, one first-pass survivor, end-of-stream —
+    // recovery must run its rounds dry and escalate to the OS read.
+    let surviving = ctx_for(1);
+    ctl.sender
+        .send(ReliableMsg::TracedAnnounce {
+            subwindow: 1,
+            announced: batch.len() as u32,
+            ctx: surviving,
+        })
+        .unwrap();
+    let mut first = batch[0];
+    first.subwindow = 1;
+    ctl.sender
+        .send(ReliableMsg::TracedAfr(Traced::new(surviving, first)))
+        .unwrap();
+    ctl.sender
+        .send(ReliableMsg::EndOfStream { subwindow: 1 })
+        .unwrap();
+
+    ctl.sender.send(ReliableMsg::Shutdown).unwrap();
+    let handle = ctl.handle.clone();
+    let metrics = ctl.join();
+
+    // The departed session was abandoned; the escalated one merged.
+    assert_eq!(metrics.departed, 1);
+    assert_eq!(metrics.escalations, 1);
+    assert_eq!(handle.subwindows(), vec![1], "only the survivor merged");
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.value("ow_controller_departed_sessions_total", &[]), 1);
+    assert_eq!(snap.value("ow_controller_sessions_total", &[]), 1);
+    assert_eq!(
+        snap.value("ow_common_engine_released_total", &[("side", "controller")]),
+        1,
+        "the departed window's FSM reached Released, not a wedged recovery state"
+    );
+
+    // Both traces are single-rooted, orphan-free, and closed.
+    let report = TraceReport::capture("trace_e2e", obs.tracer(), None);
+    assert_eq!(report.traces.len(), 2, "one closed trace per window");
+    for trace in &report.traces {
+        let ids: HashSet<u64> = trace.spans.iter().map(|s| s.id).collect();
+        let roots: Vec<_> = trace.spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 1, "sub-window {}: one root", trace.subwindow);
+        for span in &trace.spans {
+            if let Some(parent) = span.parent {
+                assert!(ids.contains(&parent), "orphaned span '{}'", span.name);
+            }
+        }
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        if trace.subwindow == 0 {
+            // The departure closed the tree with a tombstone span and
+            // never fabricated a merge.
+            let departed = trace
+                .spans
+                .iter()
+                .find(|s| s.name == "departed")
+                .expect("departed window records the abandonment");
+            assert_eq!(departed.parent, Some(trace.root));
+            assert_eq!(departed.side, "controller");
+            assert!(!names.contains(&"merge"), "a departed window never merges");
+        } else {
+            // The escalated window's recovery timeline is all there:
+            // every dry retransmission round, the OS read, the merge.
+            let collect = trace
+                .spans
+                .iter()
+                .find(|s| s.name == "collect")
+                .expect("survivor keeps its collect span");
+            let rounds: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| s.name == "retransmit_round")
+                .collect();
+            assert!(!rounds.is_empty(), "escalation is preceded by dry rounds");
+            assert!(rounds.iter().all(|r| r.parent == Some(collect.id)));
+            assert!(names.contains(&"os_read"), "escalation span missing");
+            assert!(names.contains(&"merge"));
+        }
+    }
 }
