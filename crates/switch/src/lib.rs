@@ -43,7 +43,10 @@ pub use collect::{CollectConfig, CollectOutcome, CrEngine, RetransmitBuffer};
 pub use consistency::ConsistencyModel;
 pub use flowkey::{FlowkeyTracker, TrackOutcome};
 pub use latency::LatencyModel;
-pub use placement::{place, Feature, Placement, StageLimits};
+pub use placement::{
+    place, place_optimal, DepGraph, Feature, PackingDensity, Placement, PlacementError,
+    ResourceClass, SearchBudget, StageLimits, StepRef,
+};
 pub use regions::TwoRegionState;
 pub use register::{FlattenedLayout, RegisterArray, SaluOp};
 pub use resources::{FeatureUsage, ResourceReport};

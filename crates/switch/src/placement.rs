@@ -5,9 +5,28 @@
 //! a step can share a stage with steps of other features but must come
 //! at or after its own feature's previous step — and (b) per-stage
 //! resource limits (SRAM, SALUs, VLIW slots, gateways). This module
-//! implements that placement greedily, so the "Total stages" row of the
-//! resource report is *computed* from the feature steps rather than
-//! asserted.
+//! implements that placement two ways, so the "Total stages" row of
+//! the resource report is *computed* from the feature steps rather
+//! than asserted:
+//!
+//! * [`place`] — the original greedy first-fit packer. Fast, but a
+//!   fixed feature order with no backtracking: it can fragment scarce
+//!   resources (SALUs especially) and reject programs that fit.
+//! * [`place_optimal`] — dependency-aware branch-and-bound over stage
+//!   assignments. It takes an explicit [`DepGraph`] (intra-feature
+//!   precedence chains plus cross-feature register-conflict edges
+//!   supplied by the caller), seeds the search with the greedy
+//!   solution as the incumbent so it is **never worse than greedy**,
+//!   and explores alternative assignments under a deterministic
+//!   node-count [`SearchBudget`]. On failure it returns a structured
+//!   [`PlacementError`] naming the feature, step, and binding
+//!   [`ResourceClass`], and whether infeasibility was *proven*
+//!   (exhaustive search / lower bound) or the budget ran out.
+//!
+//! A successful [`Placement`] can report its [`PackingDensity`] — the
+//! per-stage utilisation permille of each resource class across the
+//! stages actually used — which is the admission-control currency of
+//! the multi-tenant control plane: denser packing is more tenants.
 //!
 //! Tofino-like per-stage limits (per the public RMT literature the paper
 //! cites): 12 stages; tens of KB–MB SRAM per stage; fewer than 8 SALUs
@@ -85,6 +104,64 @@ pub struct Placement {
     pub stages_used: u32,
     /// Residual capacity per used stage.
     pub residual: Vec<StageLimits>,
+    /// How the placement was produced: `"greedy"` (first-fit),
+    /// `"greedy-incumbent"` (search kept the greedy solution), or
+    /// `"branch-and-bound"` (search improved on greedy or placed a
+    /// program greedy rejected).
+    pub method: &'static str,
+    /// Search nodes expanded producing this placement (0 for greedy).
+    pub nodes_explored: u64,
+    /// Whether the search ran to completion within its budget, proving
+    /// `stages_used` minimal for the dependency model. `false` for bare
+    /// greedy and for budget-exhausted searches.
+    pub optimal: bool,
+}
+
+impl Placement {
+    /// Packing density of this placement against `limits`: utilisation
+    /// permille of every resource class across the stages actually
+    /// used. An empty placement reports zero density.
+    pub fn density(&self, limits: StageLimits) -> PackingDensity {
+        let used_stages = self.stages_used as u64;
+        let spent = |get: fn(&StageLimits) -> u32| -> u64 {
+            self.residual
+                .iter()
+                .map(|r| (get(&limits) - get(r)) as u64)
+                .sum()
+        };
+        let permille = |spent: u64, cap: u32| -> u32 {
+            (spent * 1000)
+                .checked_div(used_stages * cap as u64)
+                .unwrap_or(0) as u32
+        };
+        PackingDensity {
+            stages_used: self.stages_used,
+            stages_limit: limits.stages,
+            sram_permille: permille(spent(|l| l.sram_kb), limits.sram_kb),
+            salu_permille: permille(spent(|l| l.salus), limits.salus),
+            vliw_permille: permille(spent(|l| l.vliw), limits.vliw),
+            gateway_permille: permille(spent(|l| l.gateways), limits.gateways),
+        }
+    }
+}
+
+/// Per-stage utilisation of a [`Placement`], in permille of each
+/// resource class's capacity across the stages actually used. This is
+/// the packing-density metric `ow-lint` emits into the verify table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PackingDensity {
+    /// Stages the placement occupies.
+    pub stages_used: u32,
+    /// Physical stages available.
+    pub stages_limit: u32,
+    /// SRAM utilisation across used stages (permille).
+    pub sram_permille: u32,
+    /// SALU utilisation across used stages (permille).
+    pub salu_permille: u32,
+    /// VLIW-slot utilisation across used stages (permille).
+    pub vliw_permille: u32,
+    /// Gateway utilisation across used stages (permille).
+    pub gateway_permille: u32,
 }
 
 /// Greedy first-fit placement with dependency order.
@@ -137,7 +214,559 @@ pub fn place(features: &[Feature], limits: StageLimits) -> Result<Placement, OwE
         assignments,
         stages_used,
         residual: free.into_iter().take(stages_used as usize).collect(),
+        method: "greedy",
+        nodes_explored: 0,
+        optimal: false,
     })
+}
+
+/// Identifies one step globally as `(feature index, step index)`.
+pub type StepRef = (usize, usize);
+
+/// The resource class that binds a placement decision. `Stages` covers
+/// dependency-chain exhaustion (no stage late enough exists at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ResourceClass {
+    /// Physical stage count / dependency depth.
+    Stages,
+    /// Per-stage SRAM (KB).
+    Sram,
+    /// Per-stage SALUs.
+    Salu,
+    /// Per-stage VLIW action slots.
+    Vliw,
+    /// Per-stage gateways.
+    Gateway,
+}
+
+impl ResourceClass {
+    /// Stable lowercase name used in diagnostics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResourceClass::Stages => "stages",
+            ResourceClass::Sram => "sram",
+            ResourceClass::Salu => "salu",
+            ResourceClass::Vliw => "vliw",
+            ResourceClass::Gateway => "gateway",
+        }
+    }
+}
+
+impl core::fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Deterministic budget for [`place_optimal`]: the search stops after
+/// expanding `max_nodes` nodes and keeps the best incumbent found.
+/// Counting nodes (not wall-clock) keeps the output byte-identical
+/// across machines and runs — the CI determinism gate relies on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Maximum branch-and-bound nodes to expand.
+    pub max_nodes: u64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        // Large enough to prove optimality for every catalog program,
+        // small enough that `ow-lint` over the full catalog stays well
+        // under a second in CI.
+        SearchBudget { max_nodes: 200_000 }
+    }
+}
+
+/// Why [`place_optimal`] could not place a program.
+#[derive(Debug, Clone)]
+pub struct PlacementError {
+    /// Feature whose step hit the dead end deepest into the search.
+    pub feature: String,
+    /// Step index within that feature.
+    pub step: usize,
+    /// The resource class that blocked the most candidate stages for
+    /// that step.
+    pub resource: ResourceClass,
+    /// `true` when infeasibility is proven (a lower bound exceeds the
+    /// stage count, or the search exhausted the whole tree within
+    /// budget); `false` when the budget ran out first.
+    pub proven: bool,
+    /// Human-readable proof / progress detail.
+    pub detail: String,
+}
+
+impl core::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "feature '{}' step {} cannot be placed ({} exhausted; {}): {}",
+            self.feature,
+            self.step,
+            self.resource,
+            if self.proven {
+                "infeasibility proven"
+            } else {
+                "search budget exhausted"
+            },
+            self.detail
+        )
+    }
+}
+
+impl From<PlacementError> for OwError {
+    fn from(e: PlacementError) -> OwError {
+        OwError::ResourceExhausted(e.to_string())
+    }
+}
+
+/// The explicit step-dependency graph [`place_optimal`] searches over.
+///
+/// Nodes are global step ids in feature-major order (feature 0 step 0,
+/// feature 0 step 1, …). Two edge kinds:
+///
+/// * **strict** — intra-feature precedence: step `i+1` of a feature
+///   must land in a strictly later stage than step `i` (stateful
+///   dependencies serialise). These are hard constraints.
+/// * **conflict** — cross-feature register-conflict edges supplied by
+///   the caller (`ow-verify` derives them from the order a path's
+///   access sequence touches the SALU steps serving shared register
+///   arrays). They steer the branching order — higher-conflict steps
+///   are placed earlier, where backtracking is cheap — without
+///   shrinking the feasible set, so search stays strictly more
+///   permissive than greedy.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Global step count.
+    pub steps: usize,
+    /// Strict intra-feature precedence edges `(a, b)`: `stage(a) < stage(b)`.
+    pub strict: Vec<(usize, usize)>,
+    /// Cross-feature conflict edges (search guidance, not constraints).
+    pub conflicts: Vec<(usize, usize)>,
+}
+
+impl DepGraph {
+    /// Build the graph for `features`, folding in cross-feature
+    /// `conflicts` given as `(feature, step)` pairs. Conflict edges
+    /// referencing out-of-range steps are ignored; intra-feature
+    /// conflict edges are dropped (the strict chain already orders
+    /// them).
+    pub fn build(features: &[Feature], conflicts: &[(StepRef, StepRef)]) -> DepGraph {
+        let offsets: Vec<usize> = features
+            .iter()
+            .scan(0usize, |acc, f| {
+                let o = *acc;
+                *acc += f.steps.len();
+                Some(o)
+            })
+            .collect();
+        let steps: usize = features.iter().map(|f| f.steps.len()).sum();
+        let mut strict = Vec::new();
+        for (fi, f) in features.iter().enumerate() {
+            for s in 1..f.steps.len() {
+                strict.push((offsets[fi] + s - 1, offsets[fi] + s));
+            }
+        }
+        let gid = |(fi, si): StepRef| -> Option<usize> {
+            features
+                .get(fi)
+                .filter(|f| si < f.steps.len())
+                .map(|_| offsets[fi] + si)
+        };
+        let mut edges: Vec<(usize, usize)> = conflicts
+            .iter()
+            .filter(|((fa, _), (fb, _))| fa != fb)
+            .filter_map(|&(a, b)| Some((gid(a)?, gid(b)?)))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        DepGraph {
+            steps,
+            strict,
+            conflicts: edges,
+        }
+    }
+
+    /// Number of conflict edges touching each step.
+    pub fn conflict_degree(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.steps];
+        for &(a, b) in &self.conflicts {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg
+    }
+}
+
+/// One flattened step with its search metadata.
+struct FlatStep {
+    feature: usize,
+    pos: usize,
+    step: Step,
+    /// Steps after this one in its feature's chain.
+    chain_rem: u32,
+}
+
+fn fits(free: &StageLimits, s: &Step) -> bool {
+    free.sram_kb >= s.sram_kb
+        && free.salus >= s.salus
+        && free.vliw >= s.vliw
+        && free.gateways >= s.gateways
+}
+
+fn consume(free: &mut StageLimits, s: &Step) {
+    free.sram_kb -= s.sram_kb;
+    free.salus -= s.salus;
+    free.vliw -= s.vliw;
+    free.gateways -= s.gateways;
+}
+
+fn release(free: &mut StageLimits, s: &Step) {
+    free.sram_kb += s.sram_kb;
+    free.salus += s.salus;
+    free.vliw += s.vliw;
+    free.gateways += s.gateways;
+}
+
+/// Mutable state of one branch-and-bound run.
+struct Search<'a> {
+    flat: &'a [FlatStep],
+    order: &'a [usize],
+    n_stages: usize,
+    free: Vec<StageLimits>,
+    stage_of: Vec<u32>,
+    /// Best complete assignment found so far (stage per global step).
+    best: Option<Vec<u32>>,
+    /// Stage count of the incumbent (greedy or best-found); solutions
+    /// must beat it strictly.
+    best_cost: u32,
+    nodes: u64,
+    max_nodes: u64,
+    exhausted: bool,
+    /// Deepest dead end seen: (depth, global step id, binding class).
+    deepest_fail: Option<(usize, usize, ResourceClass)>,
+}
+
+impl Search<'_> {
+    /// DFS over stage choices for `order[i..]`. `cur_used` is the
+    /// stage count implied by the steps assigned so far.
+    fn dfs(&mut self, i: usize, cur_used: u32) {
+        if self.exhausted {
+            return;
+        }
+        if i == self.order.len() {
+            // Pruning guarantees cur_used < best_cost here.
+            self.best = Some(self.stage_of.clone());
+            self.best_cost = cur_used;
+            return;
+        }
+        let sid = self.order[i];
+        let st = &self.flat[sid];
+        let earliest = if st.pos == 0 {
+            0
+        } else {
+            self.stage_of[sid - 1] as usize + 1
+        };
+        let mut any = false;
+        // Track, per resource class, how many candidate stages it
+        // blocked — the dead-end diagnostic names the dominant one.
+        let mut blocked = [0u32; 4]; // sram, salu, vliw, gateway
+        for s in earliest..self.n_stages {
+            // Cost bound: placing at stage s forces this feature's
+            // remaining chain to end at stage ≥ s + chain_rem, so the
+            // final count is ≥ max(cur_used, s + chain_rem + 1). The
+            // bound grows with s — once it reaches the incumbent, no
+            // later stage can improve either.
+            let projected = cur_used.max(s as u32 + st.chain_rem + 1);
+            if projected >= self.best_cost {
+                break;
+            }
+            if !fits(&self.free[s], &st.step) {
+                let f = &self.free[s];
+                if f.sram_kb < st.step.sram_kb {
+                    blocked[0] += 1;
+                } else if f.salus < st.step.salus {
+                    blocked[1] += 1;
+                } else if f.vliw < st.step.vliw {
+                    blocked[2] += 1;
+                } else {
+                    blocked[3] += 1;
+                }
+                continue;
+            }
+            any = true;
+            self.nodes += 1;
+            if self.nodes > self.max_nodes {
+                self.exhausted = true;
+                return;
+            }
+            consume(&mut self.free[s], &st.step);
+            self.stage_of[sid] = s as u32;
+            self.dfs(i + 1, cur_used.max(s as u32 + 1));
+            self.stage_of[sid] = u32::MAX;
+            release(&mut self.free[s], &st.step);
+            if self.exhausted {
+                return;
+            }
+        }
+        if !any {
+            let class = if blocked.iter().all(|&b| b == 0) {
+                // No candidate stage existed at all: the dependency
+                // chain (or the incumbent bound) left no room.
+                ResourceClass::Stages
+            } else {
+                let idx = blocked
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &b)| (b, usize::MAX - i))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                [
+                    ResourceClass::Sram,
+                    ResourceClass::Salu,
+                    ResourceClass::Vliw,
+                    ResourceClass::Gateway,
+                ][idx]
+            };
+            match self.deepest_fail {
+                Some((d, _, _)) if d >= i => {}
+                _ => self.deepest_fail = Some((i, sid, class)),
+            }
+        }
+    }
+}
+
+/// Dependency-aware branch-and-bound stage placement.
+///
+/// Searches stage assignments for every step of `features`, honouring
+/// intra-feature precedence and per-stage capacity, and minimising the
+/// number of stages used. The greedy [`place`] solution (when one
+/// exists) seeds the incumbent, so the result **never uses more stages
+/// than greedy**; when greedy fails, the search still explores the
+/// full assignment space and admits any program that fits — strictly
+/// more permissive than first-fit. `conflicts` are cross-feature
+/// register-conflict edges (see [`DepGraph`]); they order the
+/// branching, not the feasible set. The node-count `budget` makes the
+/// search — and therefore every diagnostic and density figure derived
+/// from it — deterministic.
+pub fn place_optimal(
+    features: &[Feature],
+    limits: StageLimits,
+    conflicts: &[(StepRef, StepRef)],
+    budget: SearchBudget,
+) -> Result<Placement, PlacementError> {
+    let n_stages = limits.stages as usize;
+    let total_steps: usize = features.iter().map(|f| f.steps.len()).sum();
+    if total_steps == 0 {
+        return Ok(Placement {
+            assignments: features.iter().map(|f| (f.name.clone(), vec![])).collect(),
+            stages_used: 0,
+            residual: vec![],
+            method: "branch-and-bound",
+            nodes_explored: 0,
+            optimal: true,
+        });
+    }
+
+    // --- Fast infeasibility proofs (lower bounds) ------------------
+    for f in features {
+        if f.steps.len() > n_stages {
+            return Err(PlacementError {
+                feature: f.name.clone(),
+                step: n_stages.min(f.steps.len().saturating_sub(1)),
+                resource: ResourceClass::Stages,
+                proven: true,
+                detail: format!(
+                    "a {}-step dependency chain cannot serialise through {} stages",
+                    f.steps.len(),
+                    n_stages
+                ),
+            });
+        }
+        for (si, s) in f.steps.iter().enumerate() {
+            let class = if s.sram_kb > limits.sram_kb {
+                Some(ResourceClass::Sram)
+            } else if s.salus > limits.salus {
+                Some(ResourceClass::Salu)
+            } else if s.vliw > limits.vliw {
+                Some(ResourceClass::Vliw)
+            } else if s.gateways > limits.gateways {
+                Some(ResourceClass::Gateway)
+            } else {
+                None
+            };
+            if let Some(resource) = class {
+                return Err(PlacementError {
+                    feature: f.name.clone(),
+                    step: si,
+                    resource,
+                    proven: true,
+                    detail: format!("the step alone exceeds a whole stage's {resource} budget"),
+                });
+            }
+        }
+    }
+    let totals = features.iter().flat_map(|f| f.steps.iter()).fold(
+        (0u64, 0u64, 0u64, 0u64),
+        |(a, b, c, d), s| {
+            (
+                a + s.sram_kb as u64,
+                b + s.salus as u64,
+                c + s.vliw as u64,
+                d + s.gateways as u64,
+            )
+        },
+    );
+    for (total, cap, resource) in [
+        (totals.0, limits.sram_kb, ResourceClass::Sram),
+        (totals.1, limits.salus, ResourceClass::Salu),
+        (totals.2, limits.vliw, ResourceClass::Vliw),
+        (totals.3, limits.gateways, ResourceClass::Gateway),
+    ] {
+        let need = if cap == 0 {
+            if total > 0 {
+                u64::MAX
+            } else {
+                0
+            }
+        } else {
+            total.div_ceil(cap as u64)
+        };
+        if need > n_stages as u64 {
+            return Err(PlacementError {
+                feature: features[0].name.clone(),
+                step: 0,
+                resource,
+                proven: true,
+                detail: format!(
+                    "whole-program demand needs ≥ {need} stages of {resource} but the \
+                     pipeline has {n_stages}"
+                ),
+            });
+        }
+    }
+
+    // --- Flatten + branching order ---------------------------------
+    let mut flat: Vec<FlatStep> = Vec::with_capacity(total_steps);
+    for (fi, f) in features.iter().enumerate() {
+        for (si, s) in f.steps.iter().enumerate() {
+            flat.push(FlatStep {
+                feature: fi,
+                pos: si,
+                step: *s,
+                chain_rem: (f.steps.len() - 1 - si) as u32,
+            });
+        }
+    }
+    let graph = DepGraph::build(features, conflicts);
+    let degree = graph.conflict_degree();
+    // Longest-chain-first (critical path), then conflict degree, then
+    // resource weight. Within a feature `chain_rem` strictly decreases
+    // with position, so every step sorts after its predecessor and the
+    // order is automatically precedence-compatible.
+    let mut order: Vec<usize> = (0..total_steps).collect();
+    order.sort_by_key(|&i| {
+        let st = &flat[i];
+        (
+            core::cmp::Reverse(st.chain_rem),
+            core::cmp::Reverse(degree[i]),
+            core::cmp::Reverse(st.step.salus),
+            core::cmp::Reverse(st.step.sram_kb),
+            st.feature,
+            st.pos,
+        )
+    });
+
+    // --- Incumbent -------------------------------------------------
+    let greedy = place(features, limits).ok();
+    let best_cost = greedy
+        .as_ref()
+        .map(|g| g.stages_used)
+        .unwrap_or(limits.stages + 1);
+
+    let mut search = Search {
+        flat: &flat,
+        order: &order,
+        n_stages,
+        free: vec![limits; n_stages],
+        stage_of: vec![u32::MAX; total_steps],
+        best: None,
+        best_cost,
+        nodes: 0,
+        max_nodes: budget.max_nodes,
+        exhausted: false,
+        deepest_fail: None,
+    };
+    search.dfs(0, 0);
+
+    let nodes = search.nodes;
+    let complete = !search.exhausted;
+    if let Some(stage_of) = search.best {
+        return Ok(build_placement(
+            features,
+            limits,
+            &stage_of,
+            "branch-and-bound",
+            nodes,
+            complete,
+        ));
+    }
+    if let Some(mut g) = greedy {
+        // Search found nothing better (or ran out of budget): the
+        // greedy incumbent stands, now annotated with what the search
+        // proved about it.
+        g.method = "greedy-incumbent";
+        g.nodes_explored = nodes;
+        g.optimal = complete;
+        return Ok(g);
+    }
+    let (_, sid, resource) = search
+        .deepest_fail
+        .unwrap_or((0, order[0], ResourceClass::Stages));
+    let st = &flat[sid];
+    Err(PlacementError {
+        feature: features[st.feature].name.clone(),
+        step: st.pos,
+        resource,
+        proven: complete,
+        detail: format!(
+            "explored {nodes} nodes over {total_steps} steps × {n_stages} stages \
+             without a feasible assignment"
+        ),
+    })
+}
+
+/// Assemble a [`Placement`] from a complete per-step stage assignment.
+fn build_placement(
+    features: &[Feature],
+    limits: StageLimits,
+    stage_of: &[u32],
+    method: &'static str,
+    nodes_explored: u64,
+    optimal: bool,
+) -> Placement {
+    let mut free = vec![limits; limits.stages as usize];
+    let mut assignments = Vec::with_capacity(features.len());
+    let mut stages_used = 0u32;
+    let mut gid = 0usize;
+    for f in features {
+        let mut stages = Vec::with_capacity(f.steps.len());
+        for s in &f.steps {
+            let stage = stage_of[gid];
+            consume(&mut free[stage as usize], s);
+            stages_used = stages_used.max(stage + 1);
+            stages.push(stage);
+            gid += 1;
+        }
+        assignments.push((f.name.clone(), stages));
+    }
+    Placement {
+        assignments,
+        stages_used,
+        residual: free.into_iter().take(stages_used as usize).collect(),
+        method,
+        nodes_explored,
+        optimal,
+    }
 }
 
 /// The OmniWindow feature steps of the Exp#5 build (Q1 configuration):
@@ -351,6 +980,263 @@ mod tests {
             ],
         }];
         assert!(place(&features, StageLimits::default()).is_err());
+    }
+
+    /// The regression shape of the optimizer: greedy burns the only
+    /// SALU of stage 0 on the short feature and then cannot finish the
+    /// chained feature; branch-and-bound reorders and fits.
+    fn greedy_hostile_features() -> Vec<Feature> {
+        vec![
+            Feature::new(
+                "short",
+                vec![Step {
+                    sram_kb: 8,
+                    salus: 1,
+                    vliw: 1,
+                    gateways: 1,
+                }],
+            ),
+            Feature::new(
+                "chained",
+                vec![
+                    Step {
+                        sram_kb: 8,
+                        salus: 1,
+                        vliw: 1,
+                        gateways: 1,
+                    },
+                    Step {
+                        sram_kb: 8,
+                        salus: 1,
+                        vliw: 1,
+                        gateways: 1,
+                    },
+                    Step {
+                        sram_kb: 0,
+                        salus: 0,
+                        vliw: 2,
+                        gateways: 1,
+                    },
+                ],
+            ),
+        ]
+    }
+
+    fn tight_limits() -> StageLimits {
+        StageLimits {
+            stages: 3,
+            sram_kb: 128,
+            salus: 1,
+            vliw: 4,
+            gateways: 4,
+        }
+    }
+
+    #[test]
+    fn search_places_programs_greedy_rejects() {
+        let features = greedy_hostile_features();
+        let limits = tight_limits();
+        assert!(place(&features, limits).is_err(), "greedy must reject");
+        let p = place_optimal(&features, limits, &[], SearchBudget::default())
+            .expect("branch-and-bound fits");
+        assert_eq!(p.stages_used, 3);
+        assert_eq!(p.method, "branch-and-bound");
+        assert!(p.optimal, "the search space is tiny; must be proven");
+        // Soundness: chains strictly increase, capacity respected.
+        for (name, stages) in &p.assignments {
+            for w in stages.windows(2) {
+                assert!(w[1] > w[0], "{name}: {stages:?}");
+            }
+        }
+        for r in &p.residual {
+            assert!(r.salus <= limits.salus && r.vliw <= limits.vliw);
+        }
+    }
+
+    #[test]
+    fn search_never_uses_more_stages_than_greedy() {
+        let features = omniwindow_features(624, 3, 928);
+        let greedy = place(&features, StageLimits::default()).unwrap();
+        let opt = place_optimal(
+            &features,
+            StageLimits::default(),
+            &[],
+            SearchBudget::default(),
+        )
+        .unwrap();
+        assert!(opt.stages_used <= greedy.stages_used);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let features = omniwindow_features(624, 3, 928);
+        let a = place_optimal(
+            &features,
+            StageLimits::default(),
+            &[],
+            SearchBudget::default(),
+        )
+        .unwrap();
+        let b = place_optimal(
+            &features,
+            StageLimits::default(),
+            &[],
+            SearchBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn exhausted_budget_keeps_the_greedy_incumbent() {
+        let features = omniwindow_features(624, 3, 928);
+        let greedy = place(&features, StageLimits::default()).unwrap();
+        let p = place_optimal(
+            &features,
+            StageLimits::default(),
+            &[],
+            SearchBudget { max_nodes: 1 },
+        )
+        .expect("incumbent survives budget exhaustion");
+        assert_eq!(p.stages_used, greedy.stages_used);
+        assert!(!p.optimal, "one node proves nothing");
+    }
+
+    #[test]
+    fn infeasibility_proof_names_feature_step_and_resource() {
+        // Totals fit (2 SALUs ≤ 2 stages × 1, 4 VLIW ≤ 2 × 2) and every
+        // step fits a bare stage, but the combination cannot pack: the
+        // chained feature occupies both stages and leaves no SALU+VLIW
+        // pair for the rider.
+        let limits = StageLimits {
+            stages: 2,
+            sram_kb: 64,
+            salus: 1,
+            vliw: 2,
+            gateways: 4,
+        };
+        let features = vec![
+            Feature::new(
+                "deep",
+                vec![
+                    Step {
+                        sram_kb: 0,
+                        salus: 1,
+                        vliw: 1,
+                        gateways: 1,
+                    },
+                    Step {
+                        sram_kb: 0,
+                        salus: 0,
+                        vliw: 2,
+                        gateways: 1,
+                    },
+                ],
+            ),
+            Feature::new(
+                "rider",
+                vec![Step {
+                    sram_kb: 0,
+                    salus: 1,
+                    vliw: 1,
+                    gateways: 1,
+                }],
+            ),
+        ];
+        let err = place_optimal(&features, limits, &[], SearchBudget::default()).unwrap_err();
+        assert!(err.proven, "the tree is tiny; must be exhausted");
+        assert!(err.feature == "deep" || err.feature == "rider", "{err}");
+        assert!(
+            matches!(err.resource, ResourceClass::Salu | ResourceClass::Vliw),
+            "{err}"
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("infeasibility proven"), "{rendered}");
+    }
+
+    #[test]
+    fn lower_bound_proof_names_the_scarce_resource() {
+        // 13 single-SALU steps across features of length 1 cannot fit
+        // 12 stages × 1 SALU: the totals bound proves it without search.
+        let features: Vec<Feature> = (0..13)
+            .map(|i| {
+                Feature::new(
+                    format!("f{i}"),
+                    vec![Step {
+                        sram_kb: 0,
+                        salus: 1,
+                        vliw: 1,
+                        gateways: 0,
+                    }],
+                )
+            })
+            .collect();
+        let limits = StageLimits {
+            salus: 1,
+            ..StageLimits::default()
+        };
+        let err = place_optimal(&features, limits, &[], SearchBudget::default()).unwrap_err();
+        assert_eq!(err.resource, ResourceClass::Salu);
+        assert!(err.proven);
+        assert!(err.detail.contains("13 stages"), "{}", err.detail);
+    }
+
+    #[test]
+    fn density_reports_permille_utilisation() {
+        let features = greedy_hostile_features();
+        let limits = tight_limits();
+        let p = place_optimal(&features, limits, &[], SearchBudget::default()).unwrap();
+        let d = p.density(limits);
+        assert_eq!(d.stages_used, 3);
+        assert_eq!(d.stages_limit, 3);
+        // 3 SALUs over 3 stages of 1 → fully saturated.
+        assert_eq!(d.salu_permille, 1000);
+        // 5 VLIW slots over 3 stages of 4 → ⌊5000/12⌋ = 416 permille.
+        assert_eq!(d.vliw_permille, 416);
+        assert!(d.sram_permille <= 1000 && d.gateway_permille <= 1000);
+    }
+
+    #[test]
+    fn conflict_edges_are_guidance_not_constraints() {
+        // Even a deliberately backwards conflict edge (late step before
+        // early) must not change feasibility or the optimal stage count.
+        let features = greedy_hostile_features();
+        let limits = tight_limits();
+        let baseline = place_optimal(&features, limits, &[], SearchBudget::default()).unwrap();
+        let steered = place_optimal(
+            &features,
+            limits,
+            &[((1, 2), (0, 0)), ((0, 0), (1, 0))],
+            SearchBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(baseline.stages_used, steered.stages_used);
+    }
+
+    #[test]
+    fn depgraph_builds_strict_chains_and_dedups_conflicts() {
+        let features = greedy_hostile_features();
+        let g = DepGraph::build(
+            &features,
+            &[
+                ((0, 0), (1, 1)),
+                ((0, 0), (1, 1)), // duplicate
+                ((1, 0), (1, 2)), // intra-feature: dropped
+                ((0, 0), (9, 9)), // out of range: dropped
+            ],
+        );
+        assert_eq!(g.steps, 4);
+        assert_eq!(g.strict, vec![(1, 2), (2, 3)]);
+        assert_eq!(g.conflicts, vec![(0, 2)]);
+        assert_eq!(g.conflict_degree(), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_feature_set_places_trivially() {
+        let p = place_optimal(&[], StageLimits::default(), &[], SearchBudget::default()).unwrap();
+        assert_eq!(p.stages_used, 0);
+        assert!(p.optimal);
+        assert_eq!(p.density(StageLimits::default()).salu_permille, 0);
     }
 
     #[test]

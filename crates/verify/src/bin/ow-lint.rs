@@ -5,27 +5,47 @@
 //! configuration the examples, tests, benchmarks, and simulator use)
 //! and exits non-zero if any program is rejected.
 //!
+//! Placement runs the dependency-aware branch-and-bound search; the
+//! `--budget` knob pins its node count so CI runs stay fast and every
+//! emitted report (the packing-density columns included) is
+//! byte-deterministic — the committed `results/verify_table2.json`
+//! baseline is exactly `ow-lint --json` at the default budget.
+//!
 //! ```text
-//! ow-lint            # human-readable, one line per program + diagnostics
-//! ow-lint --json     # machine-readable report array
-//! ow-lint --only X   # restrict to catalog entries whose name contains X
+//! ow-lint             # human-readable, one line per program + diagnostics
+//! ow-lint --json      # machine-readable report array
+//! ow-lint --only X    # restrict to catalog entries whose name contains X
+//! ow-lint --budget N  # cap the placement search at N nodes per program
 //! ```
 
 use std::process::ExitCode;
 
+use ow_switch::placement::SearchBudget;
 use ow_verify::catalog::repo_programs;
-use ow_verify::verify;
+use ow_verify::verify_with_budget;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let only = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let only = flag_value("--only");
+    let budget = match flag_value("--budget") {
+        None => SearchBudget::default(),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(max_nodes) => SearchBudget { max_nodes },
+            Err(_) => {
+                eprintln!("ow-lint: --budget expects a node count, got '{raw}'");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: ow-lint [--json] [--only SUBSTR]");
+        eprintln!("usage: ow-lint [--json] [--only SUBSTR] [--budget NODES]");
         return ExitCode::SUCCESS;
     }
 
@@ -37,7 +57,7 @@ fn main() -> ExitCode {
                 continue;
             }
         }
-        let report = match verify(&program) {
+        let report = match verify_with_budget(&program, budget) {
             Ok(witness) => witness.report().clone(),
             Err(report) => {
                 failures += 1;

@@ -226,6 +226,8 @@ fn mismatch_report(program: String, err: OwError) -> VerifyReport {
         program,
         ok: false,
         stages_used: 0,
+        placement_method: String::new(),
+        density: None,
         totals: Default::default(),
         diagnostics: vec![Diagnostic::error(
             ErrorCode::ConfigMismatch,

@@ -7,6 +7,7 @@
 //! a [`VerifyReport`] is what `ow-lint --json` emits and what the
 //! Table-2 baseline under `results/` records.
 
+use ow_switch::placement::PackingDensity;
 use serde::{Serialize, Value};
 
 /// Stable diagnostic codes. One code per provable property; the
@@ -50,6 +51,13 @@ pub enum ErrorCode {
     /// A verified witness was applied to a configuration/application it
     /// does not cover.
     ConfigMismatch,
+    /// The branch-and-bound placer proved (or, budget permitting,
+    /// strongly evidenced) that no stage assignment fits: the message
+    /// names the feature, step, and binding resource class.
+    PlaceInfeasible,
+    /// Informational: the program was placed, with the stage slack and
+    /// per-stage packing density the optimizer achieved.
+    PlaceSlack,
 }
 
 impl ErrorCode {
@@ -70,6 +78,8 @@ impl ErrorCode {
             ErrorCode::ControlPlaneSalu => "OW-CONTROL-PLANE-SALU",
             ErrorCode::MissingPath => "OW-MISSING-PATH",
             ErrorCode::ConfigMismatch => "OW-CONFIG-MISMATCH",
+            ErrorCode::PlaceInfeasible => "OW-PLACE-INFEASIBLE",
+            ErrorCode::PlaceSlack => "OW-PLACE-SLACK",
         }
     }
 }
@@ -94,6 +104,9 @@ pub enum Severity {
     Error,
     /// Suspicious but not unsound.
     Warning,
+    /// Informational (e.g. the placement's packing density); never
+    /// blocks and never indicates a problem.
+    Note,
 }
 
 impl Serialize for Severity {
@@ -102,6 +115,7 @@ impl Serialize for Severity {
             match self {
                 Severity::Error => "error",
                 Severity::Warning => "warning",
+                Severity::Note => "note",
             }
             .to_string(),
         )
@@ -145,6 +159,16 @@ impl Diagnostic {
             message: message.into(),
         }
     }
+
+    /// A note-severity (informational) diagnostic.
+    pub fn note(code: ErrorCode, context: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Note,
+            context: context.into(),
+            message: message.into(),
+        }
+    }
 }
 
 impl core::fmt::Display for Diagnostic {
@@ -152,6 +176,7 @@ impl core::fmt::Display for Diagnostic {
         let sev = match self.severity {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Note => "note",
         };
         write!(
             f,
@@ -191,6 +216,13 @@ pub struct VerifyReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Stages the placement actually used (0 when placement failed).
     pub stages_used: u32,
+    /// How the placement was derived (`"greedy"`, `"greedy-incumbent"`,
+    /// `"branch-and-bound"`; empty when placement failed).
+    pub placement_method: String,
+    /// Packing density of the derived placement (`None` when placement
+    /// failed): the per-stage utilisation permille of every resource
+    /// class, the admission currency of the multi-tenant control plane.
+    pub density: Option<PackingDensity>,
     /// Whole-program resource totals.
     pub totals: ResourceTotals,
 }
@@ -216,7 +248,7 @@ impl VerifyReport {
 
 impl core::fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(
+        write!(
             f,
             "{}: {} ({} stages, {} KB SRAM, {} SALUs, {} VLIW, {} gateways)",
             self.program,
@@ -227,6 +259,14 @@ impl core::fmt::Display for VerifyReport {
             self.totals.vliw,
             self.totals.gateways,
         )?;
+        if let Some(d) = &self.density {
+            write!(
+                f,
+                " [density permille: sram {} salu {} vliw {} gateway {}]",
+                d.sram_permille, d.salu_permille, d.vliw_permille, d.gateway_permille
+            )?;
+        }
+        writeln!(f)?;
         for d in &self.diagnostics {
             writeln!(f, "  {d}")?;
         }
@@ -244,6 +284,8 @@ mod tests {
         assert_eq!(ErrorCode::StageOverflow.as_str(), "OW-STAGE-OVERFLOW");
         assert_eq!(ErrorCode::AddrOutOfBounds.as_str(), "OW-ADDR-OOB");
         assert_eq!(ErrorCode::RecircUnbounded.as_str(), "OW-RECIRC-UNBOUNDED");
+        assert_eq!(ErrorCode::PlaceInfeasible.as_str(), "OW-PLACE-INFEASIBLE");
+        assert_eq!(ErrorCode::PlaceSlack.as_str(), "OW-PLACE-SLACK");
     }
 
     #[test]
@@ -257,10 +299,41 @@ mod tests {
                 "register 'r' accessed twice",
             )],
             stages_used: 0,
+            placement_method: String::new(),
+            density: None,
             totals: ResourceTotals::default(),
         };
         let json = report.to_json();
         assert!(json.contains("OW-C4-DOUBLE-ACCESS"), "{json}");
         assert!(json.contains("\"ok\": false"), "{json}");
+        assert!(json.contains("\"density\": null"), "{json}");
+    }
+
+    #[test]
+    fn density_serializes_with_permille_columns() {
+        let report = VerifyReport {
+            program: "p".into(),
+            ok: true,
+            diagnostics: vec![],
+            stages_used: 3,
+            placement_method: "branch-and-bound".into(),
+            density: Some(PackingDensity {
+                stages_used: 3,
+                stages_limit: 12,
+                sram_permille: 10,
+                salu_permille: 1000,
+                vliw_permille: 416,
+                gateway_permille: 250,
+            }),
+            totals: ResourceTotals::default(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"salu_permille\": 1000"), "{json}");
+        assert!(
+            json.contains("\"placement_method\": \"branch-and-bound\""),
+            "{json}"
+        );
+        let text = report.to_string();
+        assert!(text.contains("density permille"), "{text}");
     }
 }

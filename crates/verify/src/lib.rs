@@ -13,8 +13,11 @@
 //! 2. a static verifier ([`verify()`](crate::verify::verify)) proving
 //!    C4 discipline, §6
 //!    address-bounds safety, recirculation termination, per-stage and
-//!    whole-pipeline resource fit, and dependency-ordered stage
-//!    placement (driving `ow_switch::placement::place`);
+//!    whole-pipeline resource fit, and dependency-aware stage
+//!    placement (driving the branch-and-bound
+//!    `ow_switch::placement::place_optimal` over the [`depgraph`]
+//!    step-dependency graph, with the greedy packer as incumbent and
+//!    packing-density reporting);
 //! 3. a witness type ([`VerifiedProgram`]) that is the only supported
 //!    way to construct a `Switch` — [`verified_switch`] is the front
 //!    door used by every example, test, benchmark, and the network
@@ -30,16 +33,18 @@
 //! JSON ([`VerifyReport::to_json`]) for machine consumption.
 
 pub mod catalog;
+pub mod depgraph;
 pub mod derive;
 pub mod diag;
 pub mod exec;
 pub mod ir;
 pub mod verify;
 
+pub use depgraph::{register_conflict_edges, register_salu_steps};
 pub use derive::{program_for_switch, verified_switch};
 pub use diag::{Diagnostic, ErrorCode, ResourceTotals, Severity, VerifyReport};
 pub use ir::{
     omniwindow_program, AccessDecl, AccessKind, FeatureDecl, PacketClass, PathDecl,
     PipelineProgram, RegisterDecl, StepDecl,
 };
-pub use verify::{verify, VerifiedProgram};
+pub use verify::{verify, verify_with_budget, VerifiedProgram};

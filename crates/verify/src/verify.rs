@@ -11,7 +11,9 @@
 //! | every accessed array is declared | `OW-UNKNOWN-REGISTER` |
 //! | register declarations well-formed | `OW-BAD-REGISTER` |
 //! | §6 flattened-layout address bounds | `OW-ADDR-OOB` |
-//! | dependency-ordered stage placement fits (drives [`place`]) | `OW-STAGE-OVERFLOW` |
+//! | a dependency chain is longer than the pipeline | `OW-STAGE-OVERFLOW` |
+//! | search-based stage placement fits (drives [`place_optimal`]) | `OW-PLACE-INFEASIBLE` |
+//! | packing density of the found placement (note) | `OW-PLACE-SLACK` |
 //! | per-step / whole-program SRAM fit | `OW-SRAM-OVERFLOW` |
 //! | per-step SALU fit | `OW-SALU-OVERFLOW` |
 //! | per-step VLIW fit | `OW-VLIW-OVERFLOW` |
@@ -20,12 +22,20 @@
 //! | recirculation loops statically bounded (C1) | `OW-RECIRC-UNBOUNDED` |
 //! | §8 CPU paths never touch a SALU | `OW-CONTROL-PLANE-SALU` |
 //! | expected packet classes covered (warning) | `OW-MISSING-PATH` |
+//!
+//! Stage placement runs the dependency-aware branch-and-bound search
+//! ([`place_optimal`]) seeded with the greedy first-fit solution as
+//! its incumbent, so the verifier is *strictly more permissive* than
+//! the old greedy-only pass (any program greedy placed still places,
+//! in at most as many stages) while admitting programs greedy
+//! fragmented. The search budget is a node count, keeping every
+//! report — density figures included — byte-deterministic.
 
 use std::collections::HashMap;
 
 use ow_common::error::OwError;
 use ow_switch::app::DataPlaneApp;
-use ow_switch::placement::{place, Feature, Placement, Step};
+use ow_switch::placement::{place_optimal, Feature, Placement, SearchBudget, Step};
 use ow_switch::switch::{Switch, SwitchConfig};
 
 use crate::diag::{Diagnostic, ErrorCode, ResourceTotals, Severity, VerifyReport};
@@ -104,9 +114,21 @@ impl VerifiedProgram {
     }
 }
 
-/// Statically verify `program`. Returns the witness on success; the
-/// full report (with at least one error diagnostic) on rejection.
+/// Statically verify `program` with the default placement search
+/// budget. Returns the witness on success; the full report (with at
+/// least one error diagnostic) on rejection.
 pub fn verify(program: &PipelineProgram) -> Result<VerifiedProgram, Box<VerifyReport>> {
+    verify_with_budget(program, SearchBudget::default())
+}
+
+/// [`verify`] with an explicit placement [`SearchBudget`] — the knob
+/// `ow-lint --budget` exposes so CI can pin the node count (stable
+/// reports) and callers in a hurry can shrink it (the greedy incumbent
+/// keeps small budgets sound, just less optimal).
+pub fn verify_with_budget(
+    program: &PipelineProgram,
+    budget: SearchBudget,
+) -> Result<VerifiedProgram, Box<VerifyReport>> {
     let mut diags: Vec<Diagnostic> = Vec::new();
     let limits = program.limits;
 
@@ -310,7 +332,7 @@ pub fn verify(program: &PipelineProgram) -> Result<VerifiedProgram, Box<VerifyRe
         ));
     }
 
-    // --- Stage placement (drives the existing greedy packer) -------
+    // --- Stage placement (dependency-aware branch-and-bound) -------
     let features: Vec<Feature> = program
         .features
         .iter()
@@ -329,16 +351,55 @@ pub fn verify(program: &PipelineProgram) -> Result<VerifiedProgram, Box<VerifyRe
             )
         })
         .collect();
-    let placement = match place(&features, limits) {
-        Ok(p) => Some(p),
+    let conflicts = crate::depgraph::register_conflict_edges(program);
+    let placement = match place_optimal(&features, limits, &conflicts, budget) {
+        Ok(p) => {
+            let d = p.density(limits);
+            diags.push(Diagnostic::note(
+                ErrorCode::PlaceSlack,
+                "placement".to_string(),
+                format!(
+                    "placed in {}/{} stages ({}, {} nodes, optimality {}); slack {} stage(s); \
+                     utilisation permille: sram {} salu {} vliw {} gateway {}",
+                    d.stages_used,
+                    d.stages_limit,
+                    p.method,
+                    p.nodes_explored,
+                    if p.optimal {
+                        "proven"
+                    } else {
+                        "budget-bounded"
+                    },
+                    d.stages_limit - d.stages_used,
+                    d.sram_permille,
+                    d.salu_permille,
+                    d.vliw_permille,
+                    d.gateway_permille,
+                ),
+            ));
+            Some(p)
+        }
         Err(e) => {
             // Report the placement failure only when no finer-grained
-            // budget diagnostic already explains it.
+            // budget diagnostic already explains it. The error names
+            // the blocking feature/step and the exhausted resource
+            // class, plus whether infeasibility was proven or the
+            // search budget ran out first.
             if !diags.iter().any(|d| d.severity == Severity::Error) {
                 diags.push(Diagnostic::error(
-                    ErrorCode::StageOverflow,
-                    "placement".to_string(),
-                    e.to_string(),
+                    ErrorCode::PlaceInfeasible,
+                    format!("feature '{}' step {}", e.feature, e.step),
+                    format!(
+                        "no dependency-respecting stage assignment exists: {} capacity \
+                         exhausted ({}); {}",
+                        e.resource,
+                        if e.proven {
+                            "infeasibility proven"
+                        } else {
+                            "search budget exhausted — greedy also fails"
+                        },
+                        e.detail,
+                    ),
                 ));
             }
             None
@@ -348,12 +409,18 @@ pub fn verify(program: &PipelineProgram) -> Result<VerifiedProgram, Box<VerifyRe
     diags.sort_by_key(|d| match d.severity {
         Severity::Error => 0,
         Severity::Warning => 1,
+        Severity::Note => 2,
     });
     let ok = !diags.iter().any(|d| d.severity == Severity::Error);
     let report = VerifyReport {
         program: program.name.clone(),
         ok,
         stages_used: placement.as_ref().map(|p| p.stages_used).unwrap_or(0),
+        placement_method: placement
+            .as_ref()
+            .map(|p| p.method.to_string())
+            .unwrap_or_default(),
+        density: placement.as_ref().map(|p| p.density(limits)),
         totals,
         diagnostics: diags,
     };

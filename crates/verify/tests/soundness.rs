@@ -344,6 +344,81 @@ fn missing_clear_path_is_a_warning_not_an_error() {
 }
 
 #[test]
+fn placement_infeasibility_names_feature_step_and_resource() {
+    // A program no stage assignment can place: two stages with one
+    // SALU and two VLIW slots each, but three SALU steps and a 2-VLIW
+    // step that must share the pipeline. The diagnostic must say which
+    // feature/step wedged and which resource class ran out — not the
+    // old anonymous "placement" arm.
+    let limits = StageLimits {
+        stages: 2,
+        sram_kb: 64,
+        salus: 1,
+        vliw: 2,
+        gateways: 4,
+    };
+    let program = PipelineProgram::new("wedge", limits)
+        .register(RegisterDecl::new("a", 1, 8))
+        .register(RegisterDecl::new("b", 1, 8))
+        .feature(FeatureDecl::new(
+            "deep",
+            vec![
+                StepDecl {
+                    sram_kb: 0,
+                    salus: 1,
+                    vliw: 1,
+                    gateways: 1,
+                },
+                StepDecl {
+                    sram_kb: 0,
+                    salus: 0,
+                    vliw: 2,
+                    gateways: 1,
+                },
+            ],
+        ))
+        .feature(FeatureDecl::new(
+            "rider",
+            vec![StepDecl {
+                sram_kb: 0,
+                salus: 1,
+                vliw: 1,
+                gateways: 1,
+            }],
+        ))
+        .path(PathDecl::new(
+            "normal",
+            PacketClass::Normal,
+            vec![
+                AccessDecl::new("a", AccessKind::AddSat, 7),
+                AccessDecl::new("b", AccessKind::AddSat, 7),
+            ],
+        ));
+    let report = verify(&program).unwrap_err();
+    assert!(report.has_code(ErrorCode::PlaceInfeasible), "{report}");
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == ErrorCode::PlaceInfeasible)
+        .unwrap();
+    assert!(
+        diag.context.contains("feature '"),
+        "context names the wedged feature: {}",
+        diag.context
+    );
+    assert!(
+        diag.context.contains("step "),
+        "context names the wedged step: {}",
+        diag.context
+    );
+    assert!(
+        diag.message.contains("salu") || diag.message.contains("vliw"),
+        "message names the exhausted resource class: {}",
+        diag.message
+    );
+}
+
+#[test]
 fn table2_configuration_is_accepted() {
     // The ISSUE acceptance case: the paper's Table-2 OmniWindow
     // configuration passes the full verifier.
