@@ -1,18 +1,26 @@
-//! `bench_snapshot` — the PR-level perf snapshot gate: C&R merge
-//! throughput per shard count with observability + span tracing off vs
-//! on, plus the instrumented `obs_smoke` run's trace statistics.
+//! `bench_snapshot` — the PR-level perf snapshot gate for the batched
+//! C&R merge path: per-shard scaling off/on observability, a
+//! batch-size sweep, and a block-vs-per-record self-gate.
 //!
 //! For each shard count ∈ {1, 2, 4, 8} the same deterministic lossless
-//! AFR workload streams through a [`ReliableLiveController`] twice —
-//! bare, then with a full `ow-obs` handle attached and every message
-//! carrying a wire-propagated [`TraceContext`] (best of three runs
-//! each). The aggregate obs+tracing overhead must stay **under 10%**,
-//! or the binary exits nonzero: observability that taxes the hot path
-//! double digits is a regression, not a feature.
+//! AFR workload streams through a [`ReliableLiveController`] as
+//! columnar [`RecordBlock`] messages — bare, then with a full `ow-obs`
+//! handle attached and every message carrying a wire-propagated
+//! [`TraceContext`] (best of three runs each). On the block path the
+//! queue is no longer the bottleneck, so the rows actually scale with
+//! the shard count instead of flat-lining at the per-record send rate
+//! the way the old `BENCH_5.json` rows did.
 //!
-//! Writes `BENCH_5.json` at the repo root (override with `--json`),
-//! including the PR 3 `results/bench_cr.json` baseline rates when that
-//! file is present.
+//! Three gates, any breach exits nonzero:
+//! - aggregate obs+tracing overhead must stay **under 10%**;
+//! - the 8-shard block path must **beat the per-record path** measured
+//!   in the same run (otherwise batching is theater);
+//! - every run's final fold must hash to the **same FNV-1a digest** —
+//!   the determinism claim, checkable across processes by re-running.
+//!
+//! Writes `BENCH_8.json` at the repo root (override with `--json`),
+//! including a speedup column against the pinned PR 3 per-record
+//! baseline `results/bench_cr_pr3.json`.
 
 use std::time::Instant;
 
@@ -20,30 +28,46 @@ use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
 use omniwindow::experiments::Scale;
 use ow_bench::{cr_workload, Cli};
 use ow_common::afr::FlowRecord;
+use ow_common::block::{RecordBlock, DEFAULT_BLOCK_CAPACITY};
 use ow_common::time::Duration;
 use ow_controller::live::{ReliableLiveController, ReliableMsg};
 use ow_controller::reliability::RetryPolicy;
+use ow_controller::wire::encode_merged;
 use ow_obs::json::ValueExt;
 use ow_obs::{Obs, TraceContext, TraceReport, Traced};
 use serde::{Serialize, Value};
 
-/// One shard count's off/on measurement.
+/// One shard count's off/on measurement on the block path.
 #[derive(Debug, Clone, Serialize)]
 struct OverheadRow {
     /// Merge shards behind the controller.
     shards: usize,
     /// AFR records pushed through the pipeline per run.
     records: u64,
-    /// Best-of-3 merge rate with no observability attached.
+    /// Best-of-3 block-path merge rate with no observability attached.
     off_records_per_sec: f64,
-    /// Best-of-3 merge rate with obs + span tracing attached.
+    /// Best-of-3 block-path merge rate with obs + span tracing attached.
     on_records_per_sec: f64,
-    /// `(off − on) / off`, as a percentage (negative = tracing faster,
+    /// `(on − off) / off`, as a percentage (negative = tracing faster,
     /// i.e. noise).
     overhead_pct: f64,
-    /// PR 3's `bench_cr` rate at this shard count, when the committed
-    /// baseline was readable.
+    /// PR 3's per-record `bench_cr` rate at this shard count, from the
+    /// pinned baseline, when readable.
     baseline_records_per_sec: Option<f64>,
+    /// `off / baseline` — how much the block path gained over the PR 3
+    /// per-record path at this shard count.
+    speedup_vs_pr3: Option<f64>,
+}
+
+/// One batch-capacity point of the 8-shard sweep.
+#[derive(Debug, Clone, Serialize)]
+struct SweepRow {
+    /// Records per block on the wire (1 = a block per record).
+    block_capacity: usize,
+    /// Best-of-3 merge rate at this capacity, obs off, 8 shards.
+    records_per_sec: f64,
+    /// Rate relative to the same-run per-record message path.
+    speedup_vs_per_record: f64,
 }
 
 /// Key statistics of the traced `obs_smoke` run.
@@ -61,9 +85,9 @@ struct SmokeStats {
     slo_violations: u64,
 }
 
-/// The whole `BENCH_5.json` document.
+/// The whole `BENCH_8.json` document.
 #[derive(Debug, Clone, Serialize)]
-struct Bench5 {
+struct Bench8 {
     /// Fixed run label.
     run: String,
     /// Sub-windows in the workload.
@@ -72,8 +96,19 @@ struct Bench5 {
     records_per_subwindow: u32,
     /// Sliding-window span.
     window_span: usize,
-    /// Per-shard-count off/on measurements.
+    /// Records per block in the per-shard rows.
+    block_capacity: usize,
+    /// Per-shard-count off/on measurements on the block path.
     rows: Vec<OverheadRow>,
+    /// Batch-capacity sweep at 8 shards, obs off.
+    sweep: Vec<SweepRow>,
+    /// Same-run per-record message rate at 8 shards, obs off.
+    per_record_records_per_sec: f64,
+    /// Whether the 8-shard block path beat the per-record path.
+    block_beats_per_record: bool,
+    /// FNV-1a 64 digest of the encoded final fold — identical across
+    /// every run in this process, and across re-runs of the binary.
+    fold_digest: String,
     /// Aggregate obs+tracing overhead across all shard counts, %.
     aggregate_overhead_pct: f64,
     /// The traced smoke run's statistics.
@@ -91,10 +126,10 @@ fn as_f64(v: &Value) -> Option<f64> {
     }
 }
 
-/// PR 3's committed per-shard rates, if `results/bench_cr.json` exists
-/// and parses: `(shards, records_per_sec)` pairs.
+/// PR 3's pinned per-record rates, if `results/bench_cr_pr3.json`
+/// exists and parses: `(shards, records_per_sec)` pairs.
 fn load_baseline() -> Vec<(u64, f64)> {
-    let Ok(text) = std::fs::read_to_string("results/bench_cr.json") else {
+    let Ok(text) = std::fs::read_to_string("results/bench_cr_pr3.json") else {
         return Vec::new();
     };
     let Ok(doc) = ow_obs::json::parse(&text) else {
@@ -113,11 +148,51 @@ fn load_baseline() -> Vec<(u64, f64)> {
         .collect()
 }
 
+/// FNV-1a 64 over the encoded fold bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// How the workload goes onto the reliable queue.
+#[derive(Clone, Copy)]
+enum Feed {
+    /// One `Afr`/`TracedAfr` message per record — the PR 3 shape.
+    PerRecord,
+    /// `RecordBlock`s of this capacity, one message per block.
+    Blocks(usize),
+}
+
 /// Stream the whole workload through one lossless reliable controller
-/// and return the wall seconds for ingest + drain. With `obs` attached,
+/// and return the wall seconds for ingest + drain plus the FNV digest
+/// of the deterministic final fold. Blocks are pre-built outside the
+/// timed region (the fleet feeder builds them on the switch side; the
+/// pipeline under test starts at the queue). With `obs` attached,
 /// every message carries a minted [`TraceContext`], so the run pays the
 /// full span-tracing cost (context propagation, marks, merge spans).
-fn run_once(batches: &[Vec<FlowRecord>], shards: usize, span: usize, obs: Option<&Obs>) -> f64 {
+fn run_once(
+    batches: &[Vec<FlowRecord>],
+    shards: usize,
+    span: usize,
+    obs: Option<&Obs>,
+    feed: Feed,
+) -> (f64, u64) {
+    let prepared: Vec<Vec<RecordBlock>> = match feed {
+        Feed::PerRecord => Vec::new(),
+        Feed::Blocks(cap) => batches
+            .iter()
+            .enumerate()
+            .map(|(sw, afrs)| {
+                afrs.chunks(cap.max(1))
+                    .map(|chunk| RecordBlock::from_records(sw as u32, chunk))
+                    .collect()
+            })
+            .collect(),
+    };
     let ctl = ReliableLiveController::spawn_sharded_obs(
         span,
         256,
@@ -127,6 +202,7 @@ fn run_once(batches: &[Vec<FlowRecord>], shards: usize, span: usize, obs: Option
         shards,
         obs,
     );
+    let mut prepared = prepared.into_iter();
     let started = Instant::now();
     for (sw, afrs) in batches.iter().enumerate() {
         let sw = sw as u32;
@@ -152,10 +228,21 @@ fn run_once(batches: &[Vec<FlowRecord>], shards: usize, span: usize, obs: Option
                         ctx,
                     })
                     .expect("controller alive");
-                for rec in afrs {
-                    ctl.sender
-                        .send(ReliableMsg::TracedAfr(Traced::new(ctx, *rec)))
-                        .expect("controller alive");
+                match feed {
+                    Feed::PerRecord => {
+                        for rec in afrs {
+                            ctl.sender
+                                .send(ReliableMsg::TracedAfr(Traced::new(ctx, *rec)))
+                                .expect("controller alive");
+                        }
+                    }
+                    Feed::Blocks(_) => {
+                        for block in prepared.next().expect("a block list per sub-window") {
+                            ctl.sender
+                                .send(ReliableMsg::TracedAfrBlock(Traced::new(ctx, block)))
+                                .expect("controller alive");
+                        }
+                    }
                 }
             }
             None => {
@@ -165,10 +252,21 @@ fn run_once(batches: &[Vec<FlowRecord>], shards: usize, span: usize, obs: Option
                         announced: afrs.len() as u32,
                     })
                     .expect("controller alive");
-                for rec in afrs {
-                    ctl.sender
-                        .send(ReliableMsg::Afr(*rec))
-                        .expect("controller alive");
+                match feed {
+                    Feed::PerRecord => {
+                        for rec in afrs {
+                            ctl.sender
+                                .send(ReliableMsg::Afr(*rec))
+                                .expect("controller alive");
+                        }
+                    }
+                    Feed::Blocks(_) => {
+                        for block in prepared.next().expect("a block list per sub-window") {
+                            ctl.sender
+                                .send(ReliableMsg::AfrBlock(block))
+                                .expect("controller alive");
+                        }
+                    }
                 }
             }
         }
@@ -176,36 +274,57 @@ fn run_once(batches: &[Vec<FlowRecord>], shards: usize, span: usize, obs: Option
             .send(ReliableMsg::EndOfStream { subwindow: sw })
             .expect("controller alive");
     }
+    let handle = ctl.handle.clone();
     let metrics = ctl.join();
+    let wall = started.elapsed().as_secs_f64();
     assert_eq!(
         metrics.recovered, 0,
         "lossless workload must complete on the first pass"
     );
-    started.elapsed().as_secs_f64()
+    (wall, fnv1a(&encode_merged(&handle.snapshot())))
 }
 
-/// Best-of-3 wall seconds for one configuration. A fresh [`Obs`] per
-/// repetition keeps the tracer from accumulating across reps.
-fn best_of_3(batches: &[Vec<FlowRecord>], shards: usize, span: usize, traced: bool) -> f64 {
-    (0..3)
+/// Best-of-3 wall seconds for one configuration, plus the (asserted
+/// unanimous) fold digest. A fresh [`Obs`] per repetition keeps the
+/// tracer from accumulating across reps.
+fn best_of_3(
+    batches: &[Vec<FlowRecord>],
+    shards: usize,
+    span: usize,
+    traced: bool,
+    feed: Feed,
+) -> (f64, u64) {
+    let runs: Vec<(f64, u64)> = (0..3)
         .map(|_| {
             if traced {
-                run_once(batches, shards, span, Some(&Obs::new()))
+                run_once(batches, shards, span, Some(&Obs::new()), feed)
             } else {
-                run_once(batches, shards, span, None)
+                run_once(batches, shards, span, None, feed)
             }
         })
-        .fold(f64::INFINITY, f64::min)
+        .collect();
+    let digest = runs[0].1;
+    assert!(
+        runs.iter().all(|(_, d)| *d == digest),
+        "fold digest varied across repetitions — the merge is not deterministic"
+    );
+    (
+        runs.iter().fold(f64::INFINITY, |b, (s, _)| b.min(*s)),
+        digest,
+    )
 }
 
 fn main() {
     let mut cli = Cli::parse();
     if cli.json.is_none() {
-        cli.json = Some("BENCH_5.json".into());
+        cli.json = Some("BENCH_8.json".into());
     }
     let (subwindows, records, population) = match cli.scale {
         Scale::Tiny | Scale::Small => (8u32, 2_500u32, 1_024u32),
-        Scale::Paper => (12u32, 10_000u32, 4_096u32),
+        // Same workload scale as `bench_cr`: big enough that a run is
+        // wall-clock dominated by the merge, not thread spawn, so the
+        // per-shard rows actually show scaling.
+        Scale::Paper => (24u32, 40_000u32, 16_384u32),
     };
     let window_span = 4usize;
     let batches = cr_workload(subwindows, records, population, cli.seed);
@@ -213,31 +332,79 @@ fn main() {
     let baseline = load_baseline();
 
     eprintln!(
-        "running bench_snapshot: {subwindows} sub-windows × {records} AFRs, obs off/on, \
-         shards 1/2/4/8 (best of 3)…"
+        "running bench_snapshot: {subwindows} sub-windows × {records} AFRs, block path, \
+         obs off/on, shards 1/2/4/8 + batch sweep (best of 3)…"
     );
 
     let mut rows = Vec::new();
     let mut off_total = 0.0f64;
     let mut on_total = 0.0f64;
+    let mut digest = None;
     for shards in [1usize, 2, 4, 8] {
-        let off = best_of_3(&batches, shards, window_span, false);
-        let on = best_of_3(&batches, shards, window_span, true);
+        let (off, d_off) = best_of_3(
+            &batches,
+            shards,
+            window_span,
+            false,
+            Feed::Blocks(DEFAULT_BLOCK_CAPACITY),
+        );
+        let (on, d_on) = best_of_3(
+            &batches,
+            shards,
+            window_span,
+            true,
+            Feed::Blocks(DEFAULT_BLOCK_CAPACITY),
+        );
+        let expect = *digest.get_or_insert(d_off);
+        assert_eq!(
+            (d_off, d_on),
+            (expect, expect),
+            "fold digest varied across shard counts"
+        );
         off_total += off;
         on_total += on;
+        let base = baseline
+            .iter()
+            .find(|(s, _)| *s == shards as u64)
+            .map(|(_, r)| *r);
+        let off_rate = total as f64 / off;
         rows.push(OverheadRow {
             shards,
             records: total,
-            off_records_per_sec: total as f64 / off,
+            off_records_per_sec: off_rate,
             on_records_per_sec: total as f64 / on,
             overhead_pct: (on - off) / off * 100.0,
-            baseline_records_per_sec: baseline
-                .iter()
-                .find(|(s, _)| *s == shards as u64)
-                .map(|(_, r)| *r),
+            baseline_records_per_sec: base,
+            speedup_vs_pr3: base.map(|b| off_rate / b),
         });
     }
     let aggregate_overhead_pct = (on_total - off_total) / off_total * 100.0;
+
+    // The self-gate reference: the same workload as one message per
+    // record, measured in this very run on this very machine — no
+    // stale-baseline excuses.
+    let (per_record_wall, d_ref) = best_of_3(&batches, 8, window_span, false, Feed::PerRecord);
+    let per_record_rate = total as f64 / per_record_wall;
+    let expect = digest.expect("per-shard rows ran first");
+    assert_eq!(d_ref, expect, "per-record fold diverged from block fold");
+
+    let mut sweep = Vec::new();
+    for cap in [1usize, 16, 256, 1024] {
+        let (wall, d) = best_of_3(&batches, 8, window_span, false, Feed::Blocks(cap));
+        assert_eq!(d, expect, "fold digest varied across block capacities");
+        let rate = total as f64 / wall;
+        sweep.push(SweepRow {
+            block_capacity: cap,
+            records_per_sec: rate,
+            speedup_vs_per_record: rate / per_record_rate,
+        });
+    }
+    let block_rate = sweep
+        .iter()
+        .find(|r| r.block_capacity == 1024)
+        .map(|r| r.records_per_sec)
+        .expect("1024 is in the sweep");
+    let block_beats_per_record = block_rate > per_record_rate;
 
     // The traced smoke run: same scenario the e2e tests pin down.
     let smoke = obs_smoke::run(&ObsSmokeConfig::default());
@@ -261,14 +428,14 @@ fn main() {
             .count() as u64,
     };
 
-    println!("bench_snapshot: obs + span-tracing overhead per shard count\n");
+    println!("bench_snapshot: block-path obs + span-tracing overhead per shard count\n");
     println!(
-        "  {:>6} {:>14} {:>14} {:>10} {:>16}",
-        "shards", "off rec/s", "on rec/s", "overhead", "PR3 baseline"
+        "  {:>6} {:>14} {:>14} {:>10} {:>16} {:>12}",
+        "shards", "off rec/s", "on rec/s", "overhead", "PR3 baseline", "speedup"
     );
     for r in &rows {
         println!(
-            "  {:>6} {:>14.0} {:>14.0} {:>9.1}% {:>16}",
+            "  {:>6} {:>14.0} {:>14.0} {:>9.1}% {:>16} {:>12}",
             r.shards,
             r.off_records_per_sec,
             r.on_records_per_sec,
@@ -276,30 +443,57 @@ fn main() {
             r.baseline_records_per_sec
                 .map(|b| format!("{b:.0}"))
                 .unwrap_or_else(|| "-".into()),
+            r.speedup_vs_pr3
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("\n  batch-capacity sweep at 8 shards (per-record: {per_record_rate:.0} rec/s)\n");
+    println!("  {:>9} {:>14} {:>10}", "capacity", "records/s", "speedup");
+    for r in &sweep {
+        println!(
+            "  {:>9} {:>14.0} {:>9.2}x",
+            r.block_capacity, r.records_per_sec, r.speedup_vs_per_record
         );
     }
     println!(
-        "\n  aggregate overhead: {aggregate_overhead_pct:.1}%  \
+        "\n  aggregate overhead: {aggregate_overhead_pct:.1}%  fold digest: {expect:016x}  \
          (smoke: {} traces, {} spans, {} SLO violation(s))",
         stats.traces, stats.spans, stats.slo_violations
     );
 
-    let result = Bench5 {
+    let result = Bench8 {
         run: "bench_snapshot".to_string(),
         subwindows,
         records_per_subwindow: records,
         window_span,
+        block_capacity: DEFAULT_BLOCK_CAPACITY,
         rows,
+        sweep,
+        per_record_records_per_sec: per_record_rate,
+        block_beats_per_record,
+        fold_digest: format!("{expect:016x}"),
         aggregate_overhead_pct,
         obs_smoke: stats,
     };
     cli.dump(&result);
 
+    let mut failed = false;
     if aggregate_overhead_pct >= 10.0 {
         eprintln!(
             "bench_snapshot: FAIL — obs+tracing overhead {aggregate_overhead_pct:.1}% \
              breaches the 10% budget"
         );
+        failed = true;
+    }
+    if !block_beats_per_record {
+        eprintln!(
+            "bench_snapshot: FAIL — 8-shard block path ({block_rate:.0} rec/s) did not beat \
+             the per-record path ({per_record_rate:.0} rec/s)"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

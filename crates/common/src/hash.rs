@@ -162,6 +162,22 @@ impl ShardPartition {
         }
     }
 
+    /// Bulk key → shard mapping over a whole key column.
+    ///
+    /// Clears `out` and fills it with the shard index of every key, in
+    /// order. This is the block path's router primitive: hashing the
+    /// column in one tight pass amortizes the multiply-shift across the
+    /// block instead of interleaving it with per-record bookkeeping.
+    pub fn shard_indices(&self, keys: &[FlowKey], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(keys.len());
+        if self.shards == 1 {
+            out.resize(keys.len(), 0u32);
+        } else {
+            out.extend(keys.iter().map(|k| self.h.index(k, self.shards) as u32));
+        }
+    }
+
     /// Split a batch of flow records into one vector per shard,
     /// preserving the input order within each shard (order preservation
     /// is what keeps per-key merge folds identical across shard
@@ -353,6 +369,22 @@ mod tests {
             assert!(recs.iter().all(|r| p.shard_of(&r.key) == s));
             // …and input order (seq ascending here) is preserved.
             assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        }
+    }
+
+    #[test]
+    fn shard_indices_matches_shard_of() {
+        for shards in [1usize, 2, 4, 8] {
+            let p = ShardPartition::new(shards);
+            let keys: Vec<FlowKey> = (0..500u32)
+                .map(|i| FlowKey::five_tuple(i, !i, 80, 443, 6))
+                .collect();
+            let mut out = vec![99u32; 3]; // stale contents must be cleared
+            p.shard_indices(&keys, &mut out);
+            assert_eq!(out.len(), keys.len());
+            for (k, &s) in keys.iter().zip(&out) {
+                assert_eq!(s as usize, p.shard_of(k));
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod afr;
+pub mod block;
 pub mod engine;
 pub mod error;
 pub mod flowkey;
@@ -34,6 +35,7 @@ pub mod time;
 pub mod zipf;
 
 pub use afr::{AttrKind, AttrValue, FlowRecord};
+pub use block::{AttrColumn, RecordBlock, ShardScatter, DEFAULT_BLOCK_CAPACITY};
 pub use error::OwError;
 pub use flowkey::{FlowKey, KeyKind};
 pub use packet::{OwFlag, OwHeader, Packet, TcpFlags};

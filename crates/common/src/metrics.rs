@@ -127,10 +127,13 @@ pub struct ReliabilityMetrics {
     /// Sessions that gave up on retransmission and read the sub-window
     /// through the slow switch-OS path.
     pub escalations: u64,
-    /// Messages refused by a full controller ingest queue under the
-    /// non-blocking `offer` path (the blocking `send` path never
-    /// drops — this counts explicit backpressure rejections, not silent
-    /// loss).
+    /// AFR **records** refused by a full controller ingest queue under
+    /// the non-blocking `offer` path (the blocking `send` path never
+    /// drops). A rejected block charges its record count — one refused
+    /// 1024-record block is 1024 drops, not 1 — and a rejected
+    /// control/empty message charges 1, so the counter stays comparable
+    /// across batch sizes. Explicit backpressure rejections, not silent
+    /// loss.
     pub dropped: u64,
     /// Sessions abandoned because their switch departed the fleet
     /// mid-window (crash churn): the partial batch is discarded and the

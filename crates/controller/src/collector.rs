@@ -7,10 +7,10 @@
 //! sequence id; the controller checks completeness after generation and
 //! asks the switch to retransmit exactly the missing sequence ids.
 
-use std::collections::HashMap;
-
 use ow_common::afr::FlowRecord;
+use ow_common::block::RecordBlock;
 use ow_common::engine::{WindowEvent, WindowFsm, WindowPhase};
+use ow_common::hash::FastMap;
 
 /// State of one sub-window's collection session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,18 @@ pub enum SessionStatus {
 pub struct CollectionSession {
     subwindow: u32,
     announced: u32,
-    received: HashMap<u32, FlowRecord>,
+    /// Presence bitmap over the announced dense sequence range — the
+    /// per-record hot path is one test-and-set, not a map insert.
+    seen: Vec<u64>,
+    /// Distinct in-range sequence ids received.
+    in_range: u32,
+    /// First-arrival records in arrival order, columnar. Duplicates
+    /// never enter (the bitmap filters them), mirroring the old
+    /// first-record-wins map semantics.
+    records: RecordBlock,
+    /// Out-of-range sequence ids (a switch announcing fewer AFRs than
+    /// it emits is a protocol quirk, not a crash): first record wins.
+    stragglers: FastMap<u32, FlowRecord>,
     fsm: WindowFsm,
 }
 
@@ -52,7 +63,10 @@ impl CollectionSession {
         CollectionSession {
             subwindow,
             announced,
-            received: HashMap::with_capacity(announced as usize),
+            seen: vec![0u64; announced.div_ceil(64) as usize],
+            in_range: 0,
+            records: RecordBlock::with_capacity(subwindow, announced as usize),
+            stragglers: FastMap::default(),
             fsm,
         }
     }
@@ -73,6 +87,41 @@ impl CollectionSession {
         self.fsm.phase()
     }
 
+    /// Whether `rec` is a first arrival; records it if so.
+    #[inline]
+    fn admit(&mut self, rec: FlowRecord) -> bool {
+        if rec.seq < self.announced {
+            let (word, bit) = ((rec.seq / 64) as usize, rec.seq % 64);
+            if self.seen[word] & (1u64 << bit) != 0 {
+                return false;
+            }
+            self.seen[word] |= 1u64 << bit;
+            self.in_range += 1;
+            self.records.push(&rec);
+            true
+        } else {
+            // Out-of-range id: keep the first record, like the in-range
+            // path does.
+            match self.stragglers.entry(rec.seq) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(rec);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Advance the FSM once the announced count is covered.
+    #[inline]
+    fn check_complete(&mut self) {
+        if self.received() as u32 >= self.announced && self.fsm.phase() != WindowPhase::Merged {
+            self.fsm
+                .apply(WindowEvent::StreamComplete)
+                .expect("a full session merges");
+        }
+    }
+
     /// Ingest one AFR report. Duplicates (retransmissions that crossed
     /// with the original) are idempotent. AFRs for the wrong sub-window
     /// are rejected.
@@ -83,13 +132,31 @@ impl CollectionSession {
                 rec.subwindow, self.subwindow
             )));
         }
-        self.received.entry(rec.seq).or_insert(rec);
-        if self.received.len() as u32 >= self.announced && self.fsm.phase() != WindowPhase::Merged {
-            self.fsm
-                .apply(WindowEvent::StreamComplete)
-                .expect("a full session merges");
-        }
+        self.admit(rec);
+        self.check_complete();
         Ok(())
+    }
+
+    /// Ingest one block of AFR reports — the wire-batched hot path: one
+    /// bitmap test-and-set per row and a single completion check for the
+    /// whole block. Returns `(fresh, duplicates)` counts. A block for
+    /// the wrong sub-window is rejected whole.
+    pub fn receive_block(&mut self, block: &RecordBlock) -> Result<(u64, u64), ow_common::OwError> {
+        if block.subwindow() != self.subwindow {
+            return Err(ow_common::OwError::Protocol(format!(
+                "AFR block for sub-window {} in session {}",
+                block.subwindow(),
+                self.subwindow
+            )));
+        }
+        let mut fresh = 0u64;
+        for i in 0..block.len() {
+            if self.admit(block.record(i)) {
+                fresh += 1;
+            }
+        }
+        self.check_complete();
+        Ok((fresh, block.len() as u64 - fresh))
     }
 
     /// How many AFRs the trigger announced for this session.
@@ -99,7 +166,7 @@ impl CollectionSession {
 
     /// Distinct sequence ids received so far (duplicates collapse).
     pub fn received(&self) -> usize {
-        self.received.len()
+        self.in_range as usize + self.stragglers.len()
     }
 
     /// Session status — a projection of the lifecycle phase.
@@ -117,7 +184,7 @@ impl CollectionSession {
     /// empty result means the session is complete.
     pub fn missing(&mut self) -> Vec<u32> {
         let miss: Vec<u32> = (0..self.announced)
-            .filter(|seq| !self.received.contains_key(seq))
+            .filter(|seq| self.seen[(seq / 64) as usize] & (1u64 << (seq % 64)) == 0)
             .collect();
         if !miss.is_empty()
             && matches!(
@@ -150,23 +217,39 @@ impl CollectionSession {
         self.fsm.retransmit_rounds()
     }
 
+    /// Finish the session, yielding the complete batch as one columnar
+    /// [`RecordBlock`] sorted by sequence id — the form the sharded
+    /// merge path scatters without reassembling per-record vectors.
+    ///
+    /// # Panics
+    /// Panics if called while AFRs are still missing — callers must
+    /// drive retransmission to completion first.
+    pub fn into_block(mut self) -> RecordBlock {
+        assert!(
+            self.received() as u32 >= self.announced,
+            "session for sub-window {} incomplete: {}/{}",
+            self.subwindow,
+            self.received(),
+            self.announced
+        );
+        for rec in self.stragglers.values() {
+            self.records.push(rec);
+        }
+        // Sequence ids are distinct (bitmap + map keys), so the stable
+        // sort yields one deterministic order.
+        self.records.sort_by_seq();
+        self.records
+    }
+
     /// Finish the session, yielding the complete AFR batch sorted by
-    /// sequence id.
+    /// sequence id (per-record compatibility view of
+    /// [`CollectionSession::into_block`]).
     ///
     /// # Panics
     /// Panics if called while AFRs are still missing — callers must
     /// drive retransmission to completion first.
     pub fn into_batch(self) -> Vec<FlowRecord> {
-        assert!(
-            self.received.len() as u32 >= self.announced,
-            "session for sub-window {} incomplete: {}/{}",
-            self.subwindow,
-            self.received.len(),
-            self.announced
-        );
-        let mut batch: Vec<FlowRecord> = self.received.into_values().collect();
-        batch.sort_by_key(|r| r.seq);
-        batch
+        self.into_block().to_records()
     }
 }
 

@@ -6,15 +6,18 @@
 //! processors connected by a message stream. This module provides that
 //! runtime shape, in two tiers:
 //!
-//! * A **router thread** receives per-sub-window AFR batches over a
-//!   bounded crossbeam channel, drives each window's lifecycle through
-//!   the shared [`WindowEngine`] (announced → merged → released on
-//!   slide-eviction), and fans the records out by flow-key hash.
+//! * A **router thread** receives AFR batches or columnar
+//!   [`RecordBlock`]s over a bounded crossbeam channel, drives each
+//!   window's lifecycle through the shared [`WindowEngine`] (announced →
+//!   merged → released on slide-eviction), and scatters the records by
+//!   flow-key hash into capacity-bounded per-shard blocks — one queue
+//!   send per *block*, not per record.
 //! * **`N` shard workers** (one thread per shard, `N` from the
 //!   `OW_SHARDS` environment variable, default 1) each own a disjoint
-//!   key slice in their own lock-protected [`MergeTable`]. Every worker
-//!   receives every sub-window — empty where it owns no keys — so
-//!   sliding-window evictions stay synchronized across shards.
+//!   key slice in their own lock-protected [`MergeTable`] and fold whole
+//!   blocks ([`MergeTable::insert_block`]). Every worker receives every
+//!   sub-window — empty blocks where it owns no keys — so sliding-window
+//!   evictions stay synchronized across shards.
 //!
 //! Queries read the shard tables concurrently through the
 //! [`LiveHandle`]; its [`LiveHandle::snapshot`] is the deterministic
@@ -36,6 +39,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 
 use ow_common::afr::{AttrValue, FlowRecord};
+use ow_common::block::{RecordBlock, ShardScatter, DEFAULT_BLOCK_CAPACITY};
 use ow_common::engine::{WindowEngine, WindowEvent, WindowFsm, WindowPhase};
 use ow_common::flowkey::FlowKey;
 use ow_common::hash::ShardPartition;
@@ -67,12 +71,11 @@ pub fn shards_from_env() -> usize {
 
 /// A message from the router to one shard worker.
 enum ShardMsg {
-    /// This shard's slice of one sub-window's batch (possibly empty —
-    /// every shard sees every sub-window so evictions stay aligned).
-    Insert {
-        subwindow: u32,
-        afrs: Vec<FlowRecord>,
-    },
+    /// One scattered block of this shard's slice of a sub-window's
+    /// stream (possibly empty — every shard sees every sub-window so
+    /// evictions stay aligned). `open` flags the sub-window's first
+    /// block on this shard: it starts a new evictable unit.
+    Block { block: RecordBlock, open: bool },
     /// Sliding-window advance: retire the oldest sub-window.
     Evict,
     /// Drain and exit.
@@ -92,39 +95,55 @@ struct ShardPool {
     /// so the live value is the worker's backlog and the value after
     /// `shutdown()` is deterministically zero.
     depth_gauges: Option<Vec<Gauge>>,
+    /// Per-shard queued-*record* gauges
+    /// (`ow_controller_shard_queue_records{shard=…}`): the router adds a
+    /// block's row count on send, the worker subtracts it on dequeue —
+    /// depth counts messages, this counts payload.
+    record_gauges: Option<Vec<Gauge>>,
+    /// Blocks routed to shard workers (`ow_controller_blocks_total`).
+    block_counter: Option<Counter>,
+    /// Records routed to shard workers (`ow_controller_records_total`).
+    record_counter: Option<Counter>,
 }
 
 impl ShardPool {
     fn spawn(shards: usize, queue_depth: usize, obs: Option<&Obs>) -> ShardPool {
         let partition = ShardPartition::new(shards);
-        let depth_gauges = obs.map(|o| {
-            (0..shards)
-                .map(|i| {
-                    o.gauge(
-                        "ow_controller_shard_queue_depth",
-                        &[("shard", &i.to_string())],
-                    )
-                })
-                .collect::<Vec<Gauge>>()
-        });
+        let per_shard_gauges = |name: &'static str| {
+            obs.map(|o| {
+                (0..shards)
+                    .map(|i| o.gauge(name, &[("shard", &i.to_string())]))
+                    .collect::<Vec<Gauge>>()
+            })
+        };
+        let depth_gauges = per_shard_gauges("ow_controller_shard_queue_depth");
+        let record_gauges = per_shard_gauges("ow_controller_shard_queue_records");
+        let block_counter = obs.map(|o| o.counter("ow_controller_blocks_total", &[]));
+        let record_counter = obs.map(|o| o.counter("ow_controller_records_total", &[]));
         let mut tables = Vec::with_capacity(shards);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let table = Arc::new(RwLock::new(MergeTable::new()));
+            // Pre-sized: the open-addressing fast path starts at a few
+            // thousand slots so steady-state ingest never rehashes.
+            let table = Arc::new(RwLock::new(MergeTable::with_capacity(4096)));
             let (tx, rx): (Sender<ShardMsg>, Receiver<ShardMsg>) = bounded(queue_depth.max(1));
             let worker_table = table.clone();
             let depth = depth_gauges.as_ref().map(|g| g[shard].clone());
+            let records = record_gauges.as_ref().map(|g| g[shard].clone());
             workers.push(std::thread::spawn(move || {
-                let mut inserts = 0u64;
+                let mut blocks = 0u64;
                 while let Ok(msg) = rx.recv() {
                     if let Some(g) = &depth {
                         g.dec();
                     }
                     match msg {
-                        ShardMsg::Insert { subwindow, afrs } => {
-                            worker_table.write().insert_batch(subwindow, afrs);
-                            inserts += 1;
+                        ShardMsg::Block { block, open } => {
+                            if let Some(g) = &records {
+                                g.sub(block.len() as u64);
+                            }
+                            worker_table.write().insert_block(block, open);
+                            blocks += 1;
                         }
                         ShardMsg::Evict => {
                             worker_table.write().evict_oldest();
@@ -132,7 +151,7 @@ impl ShardPool {
                         ShardMsg::Shutdown => break,
                     }
                 }
-                inserts
+                blocks
             }));
             tables.push(table);
             senders.push(tx);
@@ -143,6 +162,9 @@ impl ShardPool {
             workers,
             partition,
             depth_gauges,
+            record_gauges,
+            block_counter,
+            record_counter,
         }
     }
 
@@ -152,21 +174,37 @@ impl ShardPool {
         }
     }
 
-    /// Fan one sub-window's batch out to every shard. Blocking sends: a
+    /// Send one scattered block to its shard worker. Blocking send: a
     /// full worker queue back-pressures the router rather than dropping.
-    fn insert(&self, subwindow: u32, afrs: Vec<FlowRecord>) {
-        for (shard, (tx, slice)) in self
-            .senders
-            .iter()
-            .zip(self.partition.split(&afrs))
-            .enumerate()
-        {
-            self.mark_sent(shard);
-            let _ = tx.send(ShardMsg::Insert {
-                subwindow,
-                afrs: slice,
-            });
+    fn send_block(&self, shard: usize, block: RecordBlock, open: bool) {
+        self.mark_sent(shard);
+        if let Some(gauges) = &self.record_gauges {
+            gauges[shard].add(block.len() as u64);
         }
+        if let Some(c) = &self.block_counter {
+            c.inc();
+        }
+        if let Some(c) = &self.record_counter {
+            c.add(block.len() as u64);
+        }
+        let _ = self.senders[shard].send(ShardMsg::Block { block, open });
+    }
+
+    /// Fan one sub-window's batch out to every shard, scattered into
+    /// capacity-bounded blocks (one send per block, not per record).
+    fn insert(&self, subwindow: u32, afrs: Vec<FlowRecord>) {
+        let mut scatter = ShardScatter::new(self.partition, DEFAULT_BLOCK_CAPACITY);
+        scatter.scatter_batch(subwindow, &afrs, |shard, block, open| {
+            self.send_block(shard, block, open);
+        });
+    }
+
+    /// Scatter one complete sub-window block across the shards.
+    fn insert_block(&self, block: &RecordBlock) {
+        let mut scatter = ShardScatter::new(self.partition, DEFAULT_BLOCK_CAPACITY);
+        scatter.begin(block.subwindow());
+        scatter.push_block(block, |shard, b, open| self.send_block(shard, b, open));
+        scatter.seal(|shard, b, open| self.send_block(shard, b, open));
     }
 
     /// Retire the oldest sub-window on every shard.
@@ -209,11 +247,36 @@ pub struct LiveHandle {
 impl LiveHandle {
     /// Count one rejected `offer` on both the handle and, when attached,
     /// the registry (`ow_controller_backpressure_dropped_total`).
-    fn count_drop(&self) {
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+    ///
+    /// The unit is *records*: a rejected block loses its whole payload,
+    /// so it charges its row count, not 1 — otherwise batching would
+    /// silently deflate the loss accounting.
+    fn count_drop(&self, records: u64) {
+        self.dropped.fetch_add(records, Ordering::Relaxed);
         if let Some(c) = &self.drop_counter {
-            c.inc();
+            c.add(records);
         }
+    }
+}
+
+/// How many records a rejected data-plane message loses — the unit the
+/// backpressure accounting charges. Payload-free control messages count
+/// one, as does a degenerate empty block (the message itself is lost).
+fn dataplane_msg_records(msg: &DataPlaneMsg) -> u64 {
+    match msg {
+        DataPlaneMsg::AfrBatch { afrs, .. } => (afrs.len() as u64).max(1),
+        DataPlaneMsg::AfrBlock { block, .. } => (block.len() as u64).max(1),
+        DataPlaneMsg::Shutdown => 1,
+    }
+}
+
+/// Record count of a rejected reliable-path message (see
+/// [`dataplane_msg_records`]).
+fn reliable_msg_records(msg: &ReliableMsg) -> u64 {
+    match msg {
+        ReliableMsg::AfrBlock(block) => (block.len() as u64).max(1),
+        ReliableMsg::TracedAfrBlock(traced) => (traced.payload.len() as u64).max(1),
+        _ => 1,
     }
 }
 
@@ -238,10 +301,7 @@ impl LiveHandle {
 
     /// The merged statistic for one flow, served by its owning shard.
     pub fn merged_value(&self, key: &FlowKey) -> Option<AttrValue> {
-        self.tables[self.partition.shard_of(key)]
-            .read()
-            .get(key)
-            .copied()
+        self.tables[self.partition.shard_of(key)].read().get(key)
     }
 
     /// The sub-windows currently contributing to the table. Every shard
@@ -275,7 +335,8 @@ impl LiveHandle {
         self.tables.len()
     }
 
-    /// Messages rejected by the non-blocking `offer` path so far.
+    /// AFR records rejected by the non-blocking `offer` path so far (a
+    /// refused block charges its record count; a control message, 1).
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
@@ -290,6 +351,18 @@ pub enum DataPlaneMsg {
         subwindow: u32,
         /// Its AFRs.
         afrs: Vec<FlowRecord>,
+    },
+    /// One columnar block of a sub-window's AFR stream — the
+    /// wire-batched hot path. A sub-window's blocks arrive contiguously;
+    /// `seal` marks its last block and completes the sub-window. A block
+    /// for a *different* sub-window (or an [`DataPlaneMsg::AfrBatch`] /
+    /// `Shutdown`) also seals whatever stream is open, so a lost seal
+    /// flag delays but never wedges a sub-window.
+    AfrBlock {
+        /// The stream's columnar records (all one sub-window).
+        block: RecordBlock,
+        /// Whether this is the sub-window's final block.
+        seal: bool,
     },
     /// End of stream: the controller thread drains and exits.
     Shutdown,
@@ -355,30 +428,91 @@ impl LiveController {
             }
             let mut merged_order: VecDeque<u32> = VecDeque::new();
             let mut batches = 0u64;
+            // Streaming scatter state for the block path: the open
+            // sub-window and how many records it has routed so far.
+            let mut scatter = ShardScatter::new(pool.partition, DEFAULT_BLOCK_CAPACITY);
+            let mut stream: Option<(u32, u64)> = None;
+            // Complete one sub-window: lifecycle bookkeeping plus the
+            // sliding-window eviction sweep. The plain data-plane path
+            // has no loss to repair, so the sub-window is merged the
+            // moment its stream is complete.
+            let finish_subwindow =
+                |subwindow: u32,
+                 announced: u32,
+                 engine: &mut WindowEngine,
+                 merged_order: &mut VecDeque<u32>| {
+                    engine.insert(WindowFsm::announced(subwindow, announced));
+                    if engine.phase(subwindow) == Some(WindowPhase::Collected) {
+                        let _ = engine.apply(subwindow, WindowEvent::StreamComplete);
+                    }
+                    merged_order.push_back(subwindow);
+                    while merged_order.len() > window_subwindows {
+                        let oldest = merged_order.pop_front().expect("non-empty");
+                        if engine.phase(oldest) == Some(WindowPhase::Merged) {
+                            let _ = engine.apply(oldest, WindowEvent::Acked);
+                        }
+                        pool.evict();
+                    }
+                };
             while let Ok(msg) = rx.recv() {
+                // Any non-block message (or a block for a different
+                // sub-window) seals the open block stream first.
+                let boundary = match &msg {
+                    DataPlaneMsg::AfrBlock { block, .. } => {
+                        stream.is_some_and(|(sw, _)| sw != block.subwindow())
+                    }
+                    _ => stream.is_some(),
+                };
+                if boundary {
+                    let (sw, routed) = stream.take().expect("boundary implies open stream");
+                    scatter.seal(|shard, b, open| pool.send_block(shard, b, open));
+                    finish_subwindow(sw, routed as u32, &mut engine, &mut merged_order);
+                    batches += 1;
+                    if let Some(c) = &batch_counter {
+                        c.inc();
+                    }
+                }
                 match msg {
                     DataPlaneMsg::AfrBatch { subwindow, afrs } => {
-                        engine.insert(WindowFsm::announced(subwindow, afrs.len() as u32));
+                        let announced = afrs.len() as u32;
                         pool.insert(subwindow, afrs);
-                        // The plain data-plane path has no loss to
-                        // repair: the batch is complete on arrival.
-                        if engine.phase(subwindow) == Some(WindowPhase::Collected) {
-                            let _ = engine.apply(subwindow, WindowEvent::StreamComplete);
-                        }
-                        merged_order.push_back(subwindow);
-                        while merged_order.len() > window_subwindows {
-                            let oldest = merged_order.pop_front().expect("non-empty");
-                            if engine.phase(oldest) == Some(WindowPhase::Merged) {
-                                let _ = engine.apply(oldest, WindowEvent::Acked);
-                            }
-                            pool.evict();
-                        }
+                        finish_subwindow(subwindow, announced, &mut engine, &mut merged_order);
                         batches += 1;
                         if let Some(c) = &batch_counter {
                             c.inc();
                         }
                     }
+                    DataPlaneMsg::AfrBlock { block, seal } => {
+                        if stream.is_none() {
+                            scatter.begin(block.subwindow());
+                            stream = Some((block.subwindow(), 0));
+                        }
+                        let routed = &mut stream.as_mut().expect("opened above").1;
+                        *routed += block.len() as u64;
+                        scatter.push_block(&block, |shard, b, open| {
+                            pool.send_block(shard, b, open);
+                        });
+                        if seal {
+                            let (sw, routed) = stream.take().expect("opened above");
+                            scatter.seal(|shard, b, open| pool.send_block(shard, b, open));
+                            finish_subwindow(sw, routed as u32, &mut engine, &mut merged_order);
+                            batches += 1;
+                            if let Some(c) = &batch_counter {
+                                c.inc();
+                            }
+                        }
+                    }
                     DataPlaneMsg::Shutdown => break,
+                }
+            }
+            // A stream left open at shutdown (seal flag lost) still
+            // completes its sub-window before the pool drains.
+            if let Some((sw, routed)) = stream.take() {
+                scatter.seal(|shard, b, open| pool.send_block(shard, b, open));
+                finish_subwindow(sw, routed as u32, &mut engine, &mut merged_order);
+                batches += 1;
+                if let Some(c) = &batch_counter {
+                    c.inc();
                 }
             }
             pool.shutdown();
@@ -398,8 +532,9 @@ impl LiveController {
     pub fn offer(&self, msg: DataPlaneMsg) -> bool {
         match self.sender.try_send(msg) {
             Ok(()) => true,
-            Err(_) => {
-                self.handle.count_drop();
+            Err(e) => {
+                self.handle
+                    .count_drop(dataplane_msg_records(&e.into_inner()));
                 false
             }
         }
@@ -414,9 +549,10 @@ impl LiveController {
 }
 
 /// A message on the reliability-aware live path. Unlike
-/// [`DataPlaneMsg`], AFRs stream individually (they are individually
-/// droppable on the wire) and each sub-window is bracketed by an
-/// announcement and an end-of-stream mark.
+/// [`DataPlaneMsg`], AFRs stream individually or in columnar bursts
+/// (each clone is individually droppable on the wire) and each
+/// sub-window is bracketed by an announcement and an end-of-stream
+/// mark.
 #[derive(Debug, Clone)]
 pub enum ReliableMsg {
     /// Trigger-packet announcement: `announced` AFRs are coming for
@@ -452,6 +588,13 @@ pub enum ReliableMsg {
     /// clone carries the context, so any copy that survives the lossy
     /// channel delivers it — even when the announcement itself was lost.
     TracedAfr(Traced<FlowRecord>),
+    /// A burst of AFR report clones for one sub-window in columnar form
+    /// — the wire-batched hot path. Semantically identical to sending
+    /// each row as [`ReliableMsg::Afr`]; blocks and single records may
+    /// interleave freely within and across sub-windows.
+    AfrBlock(RecordBlock),
+    /// [`ReliableMsg::AfrBlock`] wrapped with its [`TraceContext`].
+    TracedAfrBlock(Traced<RecordBlock>),
     /// The switch owning `subwindow` departed the fleet (crash churn)
     /// before its stream completed. The session is abandoned: its
     /// partial batch is discarded (never merged), its [`WindowFsm`] is
@@ -602,6 +745,14 @@ impl ReliableLiveController {
                 }
             };
 
+            let feed_block = |entry: &mut (CollectionSession, ReliabilityMetrics),
+                              block: &RecordBlock| {
+                if let Ok((fresh, dups)) = entry.0.receive_block(block) {
+                    entry.1.first_pass += fresh;
+                    entry.1.duplicates += dups;
+                }
+            };
+
             let mut finalize = |subwindow: u32,
                                 entry: (CollectionSession, ReliabilityMetrics),
                                 ctx: Option<TraceContext>,
@@ -643,7 +794,7 @@ impl ReliableLiveController {
                 // The session's FSM arrives at Merged through the §8
                 // loop; the engine tracks it until slide-eviction.
                 engine.insert(*session.fsm());
-                let batch = session.into_batch();
+                let block = session.into_block();
                 // Reconstruct the recovery timeline into the window's
                 // causal trace. `complete_session` accumulates the exact
                 // same quantities into `wall_clock` (one backoff timeout
@@ -701,7 +852,7 @@ impl ReliableLiveController {
                     }
                     tracer.finish_window(ctx.trace_id, end);
                 }
-                pool.insert(subwindow, batch);
+                pool.insert_block(&block);
                 merged_order.push_back(subwindow);
                 while merged_order.len() > window_subwindows {
                     let oldest = merged_order.pop_front().expect("non-empty");
@@ -731,6 +882,10 @@ impl ReliableLiveController {
                         ctxs.entry(traced.payload.subwindow).or_insert(traced.ctx);
                         ReliableMsg::Afr(traced.payload)
                     }
+                    ReliableMsg::TracedAfrBlock(traced) => {
+                        ctxs.entry(traced.payload.subwindow()).or_insert(traced.ctx);
+                        ReliableMsg::AfrBlock(traced.payload)
+                    }
                     other => other,
                 };
                 match msg {
@@ -759,6 +914,21 @@ impl ReliableLiveController {
                         match sessions.get_mut(&rec.subwindow) {
                             Some(entry) => feed(entry, rec),
                             None => early.entry(rec.subwindow).or_default().push(rec),
+                        }
+                    }
+                    ReliableMsg::AfrBlock(block) => {
+                        if departed_windows.contains(&block.subwindow()) {
+                            continue;
+                        }
+                        match sessions.get_mut(&block.subwindow()) {
+                            Some(entry) => feed_block(entry, &block),
+                            None => {
+                                // The whole block raced its announcement.
+                                early
+                                    .entry(block.subwindow())
+                                    .or_default()
+                                    .extend(block.iter());
+                            }
                         }
                     }
                     ReliableMsg::EndOfStream { subwindow } => {
@@ -818,7 +988,9 @@ impl ReliableLiveController {
                             }
                         }
                     }
-                    ReliableMsg::TracedAnnounce { .. } | ReliableMsg::TracedAfr(_) => {
+                    ReliableMsg::TracedAnnounce { .. }
+                    | ReliableMsg::TracedAfr(_)
+                    | ReliableMsg::TracedAfrBlock(_) => {
                         unreachable!("traced messages are unwrapped above")
                     }
                     ReliableMsg::Shutdown => break,
@@ -849,8 +1021,9 @@ impl ReliableLiveController {
     pub fn offer(&self, msg: ReliableMsg) -> bool {
         match self.sender.try_send(msg) {
             Ok(()) => true,
-            Err(_) => {
-                self.handle.count_drop();
+            Err(e) => {
+                self.handle
+                    .count_drop(reliable_msg_records(&e.into_inner()));
                 false
             }
         }
@@ -1480,6 +1653,272 @@ mod tests {
                 .value("ow_controller_backpressure_dropped_total", &[]),
             1
         );
+    }
+
+    #[test]
+    fn block_stream_matches_batch_path_byte_for_byte() {
+        // The same workload delivered as AfrBatch messages and as
+        // chunked AfrBlock streams (with a lost seal flag on the last
+        // sub-window, repaired by shutdown) must merge identically.
+        let run_batch = |shards: usize| {
+            let ctl = LiveController::spawn_sharded(3, 64, shards);
+            for sw in 0..5u32 {
+                ctl.sender
+                    .send(batch(sw, 0..60, (sw as u64 + 1) * 3))
+                    .unwrap();
+            }
+            let handle = ctl.handle.clone();
+            assert_eq!(ctl.join(), 5);
+            handle
+        };
+        let run_blocks = |shards: usize| {
+            let ctl = LiveController::spawn_sharded(3, 64, shards);
+            for sw in 0..5u32 {
+                let afrs: Vec<FlowRecord> = (0..60u32)
+                    .map(|i| FlowRecord::frequency(FlowKey::src_ip(i), (sw as u64 + 1) * 3, sw))
+                    .collect();
+                let chunks: Vec<&[FlowRecord]> = afrs.chunks(17).collect();
+                for (i, chunk) in chunks.iter().enumerate() {
+                    // The last sub-window's seal flag is "lost": the
+                    // next sub-window's first block (or shutdown) must
+                    // seal it implicitly.
+                    let seal = i + 1 == chunks.len() && sw != 4;
+                    ctl.sender
+                        .send(DataPlaneMsg::AfrBlock {
+                            block: RecordBlock::from_records(sw, chunk),
+                            seal,
+                        })
+                        .unwrap();
+                }
+            }
+            let handle = ctl.handle.clone();
+            assert_eq!(ctl.join(), 5);
+            handle
+        };
+        let baseline = run_batch(1);
+        for shards in [1usize, 4] {
+            let h = run_blocks(shards);
+            assert_eq!(h.subwindows(), vec![2, 3, 4]);
+            assert_eq!(
+                encode_merged(&h.snapshot()),
+                encode_merged(&baseline.snapshot()),
+                "{shards}-shard block stream diverged from the batch path"
+            );
+        }
+    }
+
+    #[test]
+    fn reliable_block_bursts_match_per_record_stream() {
+        let run = |blocked: bool| {
+            let store: HashMap<u32, Vec<FlowRecord>> =
+                (0..3u32).map(|sw| (sw, seq_batch(sw, 40))).collect();
+            let retrans_store = store.clone();
+            let ctl = ReliableLiveController::spawn_sharded(
+                2,
+                64,
+                RetryPolicy::default(),
+                Box::new(move |sw, seqs| {
+                    let batch = &retrans_store[&sw];
+                    seqs.iter().map(|&s| batch[s as usize]).collect()
+                }),
+                Box::new(|_| panic!("no escalation expected")),
+                4,
+            );
+            for sw in 0..3u32 {
+                ctl.sender
+                    .send(ReliableMsg::Announce {
+                        subwindow: sw,
+                        announced: 40,
+                    })
+                    .unwrap();
+                // Lossy stream; one burst is also duplicated whole.
+                let survivors: Vec<FlowRecord> = store[&sw]
+                    .iter()
+                    .filter(|r| r.seq % 5 != 2)
+                    .copied()
+                    .collect();
+                if blocked {
+                    for chunk in survivors.chunks(9) {
+                        let block = RecordBlock::from_records(sw, chunk);
+                        ctl.sender.send(ReliableMsg::AfrBlock(block)).unwrap();
+                    }
+                    ctl.sender
+                        .send(ReliableMsg::AfrBlock(RecordBlock::from_records(
+                            sw,
+                            &survivors[0..9],
+                        )))
+                        .unwrap();
+                } else {
+                    for rec in &survivors {
+                        ctl.sender.send(ReliableMsg::Afr(*rec)).unwrap();
+                    }
+                    for rec in &survivors[0..9] {
+                        ctl.sender.send(ReliableMsg::Afr(*rec)).unwrap();
+                    }
+                }
+                ctl.sender
+                    .send(ReliableMsg::EndOfStream { subwindow: sw })
+                    .unwrap();
+            }
+            let handle = ctl.handle.clone();
+            let metrics = ctl.join();
+            (handle, metrics)
+        };
+        let (per_record, m1) = run(false);
+        let (blocked, m2) = run(true);
+        assert_eq!(
+            encode_merged(&blocked.snapshot()),
+            encode_merged(&per_record.snapshot()),
+            "block bursts diverged from the per-record stream"
+        );
+        assert_eq!(m2.first_pass, m1.first_pass);
+        assert_eq!(m2.duplicates, m1.duplicates);
+        assert_eq!(m2.recovered, m1.recovered);
+        assert_eq!(m1.duplicates, 27, "three duplicated 9-record bursts");
+    }
+
+    #[test]
+    fn early_block_waits_for_its_announcement() {
+        // A whole block races ahead of its announcement: it must buffer
+        // and fold in once the announcement lands.
+        let store = seq_batch(6, 8);
+        let ctl = ReliableLiveController::spawn_sharded(
+            2,
+            64,
+            RetryPolicy::default(),
+            Box::new(|_, _| panic!("complete stream needs no retransmit")),
+            Box::new(|_| panic!("no escalation expected")),
+            2,
+        );
+        ctl.sender
+            .send(ReliableMsg::AfrBlock(RecordBlock::from_records(6, &store)))
+            .unwrap();
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: 6,
+                announced: 8,
+            })
+            .unwrap();
+        let handle = ctl.handle.clone();
+        let metrics = ctl.join();
+        assert_eq!(handle.merged_flows(), 8);
+        assert_eq!(metrics.first_pass, 8);
+        assert_eq!(metrics.recovered, 0);
+    }
+
+    #[test]
+    fn rejected_block_counts_dropped_records_not_messages() {
+        // Satellite-6 regression: the offer path's drop accounting is in
+        // *records*. Wedge the router, fill the queue (depth 2), then
+        // offer a 5-record block — `dropped` must rise by 5, not 1, and
+        // the registry counter must mirror it.
+        let obs = Obs::new();
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let store = seq_batch(0, 1);
+        let replay = store.clone();
+        let ctl = ReliableLiveController::spawn_sharded_obs(
+            1,
+            2,
+            RetryPolicy::default(),
+            Box::new(move |_, seqs| {
+                entered_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+                seqs.iter().map(|&s| replay[s as usize]).collect()
+            }),
+            Box::new(|_| panic!("no escalation expected")),
+            1,
+            Some(&obs),
+        );
+        ctl.sender
+            .send(ReliableMsg::Announce {
+                subwindow: 0,
+                announced: 1,
+            })
+            .unwrap();
+        ctl.sender
+            .send(ReliableMsg::EndOfStream { subwindow: 0 })
+            .unwrap();
+        entered_rx.recv().unwrap();
+        assert!(ctl.offer(ReliableMsg::Afr(store[0])));
+        assert!(ctl.offer(ReliableMsg::Afr(store[0])));
+        let burst = RecordBlock::from_records(0, &seq_batch(0, 5));
+        assert!(
+            !ctl.offer(ReliableMsg::AfrBlock(burst)),
+            "third offer overflows"
+        );
+        assert_eq!(
+            ctl.handle.dropped(),
+            5,
+            "a rejected block drops its whole payload"
+        );
+        gate_tx.send(()).unwrap();
+        let metrics = ctl.join();
+        assert_eq!(metrics.dropped, 5);
+        assert_eq!(
+            obs.snapshot()
+                .value("ow_controller_backpressure_dropped_total", &[]),
+            5
+        );
+    }
+
+    #[test]
+    fn block_and_record_counters_reconcile_after_join() {
+        // 3 sub-windows × 12 records over 4 shards: every record routed
+        // is counted, blocks_total counts one open block per (shard,
+        // sub-window) at this scale, and the queued-records gauges
+        // settle to zero once the workers drain.
+        let obs = Obs::new();
+        let store: HashMap<u32, Vec<FlowRecord>> =
+            (0..3u32).map(|sw| (sw, seq_batch(sw, 12))).collect();
+        let retrans_store = store.clone();
+        let ctl = ReliableLiveController::spawn_sharded_obs(
+            2,
+            64,
+            RetryPolicy::default(),
+            Box::new(move |sw, seqs| {
+                let batch = &retrans_store[&sw];
+                seqs.iter().map(|&s| batch[s as usize]).collect()
+            }),
+            Box::new(|_| panic!("no escalation expected")),
+            4,
+            Some(&obs),
+        );
+        for sw in 0..3u32 {
+            ctl.sender
+                .send(ReliableMsg::Announce {
+                    subwindow: sw,
+                    announced: 12,
+                })
+                .unwrap();
+            ctl.sender
+                .send(ReliableMsg::AfrBlock(RecordBlock::from_records(
+                    sw,
+                    &store[&sw],
+                )))
+                .unwrap();
+            ctl.sender
+                .send(ReliableMsg::EndOfStream { subwindow: sw })
+                .unwrap();
+        }
+        let _ = ctl.join();
+        let snap = obs.snapshot();
+        assert_eq!(snap.value("ow_controller_records_total", &[]), 36);
+        assert_eq!(
+            snap.value("ow_controller_blocks_total", &[]),
+            12,
+            "one block per shard per sub-window at this scale"
+        );
+        for shard in 0..4u32 {
+            assert_eq!(
+                snap.value(
+                    "ow_controller_shard_queue_records",
+                    &[("shard", &shard.to_string())]
+                ),
+                0,
+                "shard {shard} queued-records gauge must settle to 0"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! down and `ow-bench`'s `bench_cr` re-asserts while measuring.
 
 use ow_common::afr::{AttrValue, FlowRecord};
+use ow_common::block::{RecordBlock, ShardScatter, DEFAULT_BLOCK_CAPACITY};
 use ow_common::flowkey::FlowKey;
 use ow_common::hash::ShardPartition;
 
@@ -64,12 +65,26 @@ impl ShardedMergeTable {
 
     /// Split one sub-window's batch across the shards. Every shard gets
     /// an entry for `subwindow` — empty where it owns none of the keys —
-    /// so evictions stay synchronized.
+    /// so evictions stay synchronized. Internally this is the block
+    /// path: the batch is scattered into capacity-bounded
+    /// [`RecordBlock`]s and folded with [`MergeTable::insert_block`].
     pub fn insert_batch(&mut self, subwindow: u32, afrs: Vec<FlowRecord>) {
-        let split = self.partition.split(&afrs);
-        for (shard, slice) in self.shards.iter_mut().zip(split) {
-            shard.insert_batch(subwindow, slice);
-        }
+        let mut scatter = ShardScatter::new(self.partition, DEFAULT_BLOCK_CAPACITY);
+        let shards = &mut self.shards;
+        scatter.scatter_batch(subwindow, &afrs, |shard, block, open| {
+            shards[shard].insert_block(block, open);
+        });
+    }
+
+    /// Scatter one incoming [`RecordBlock`] across the shards. Like
+    /// [`ShardedMergeTable::insert_batch`], every shard opens an entry
+    /// for the block's sub-window so evictions stay synchronized.
+    pub fn insert_block(&mut self, block: &RecordBlock) {
+        let mut scatter = ShardScatter::new(self.partition, DEFAULT_BLOCK_CAPACITY);
+        let shards = &mut self.shards;
+        scatter.begin(block.subwindow());
+        scatter.push_block(block, |shard, b, open| shards[shard].insert_block(b, open));
+        scatter.seal(|shard, b, open| shards[shard].insert_block(b, open));
     }
 
     /// Evict the oldest sub-window from every shard (sliding-window
@@ -105,7 +120,7 @@ impl ShardedMergeTable {
     }
 
     /// The merged statistic for one flow, served by the owning shard.
-    pub fn get(&self, key: &FlowKey) -> Option<&AttrValue> {
+    pub fn get(&self, key: &FlowKey) -> Option<AttrValue> {
         self.shards[self.partition.shard_of(key)].get(key)
     }
 
@@ -184,6 +199,23 @@ mod tests {
             assert_eq!(t.flows_over(50.0), baseline.flows_over(50.0));
             assert_eq!(t.len(), baseline.len());
         }
+    }
+
+    #[test]
+    fn block_scatter_matches_batch_insert() {
+        let mut by_batch = ShardedMergeTable::new(4);
+        let mut by_block = ShardedMergeTable::new(4);
+        for (sw, batch) in workload() {
+            by_batch.insert_batch(sw, batch.clone());
+            by_block.insert_block(&RecordBlock::from_records(sw, &batch));
+        }
+        by_batch.evict_oldest();
+        by_block.evict_oldest();
+        assert_eq!(by_block.subwindows(), by_batch.subwindows());
+        assert_eq!(
+            encode_merged(&by_block.snapshot()),
+            encode_merged(&by_batch.snapshot())
+        );
     }
 
     #[test]

@@ -84,6 +84,100 @@ pub fn max_vectorized_u32(dst: &mut [u32], src: &[u32]) {
     }
 }
 
+/// Element-wise saturating `dst[i] += src[i]` — vectorisable.
+///
+/// The merge algebra saturates frequency counters instead of wrapping
+/// (a wrapped heavy hitter would vanish below the reporting threshold),
+/// so the block-fold path needs a saturating lane kernel. Written as
+/// compare-and-select over the wrapped sum, which LLVM turns into
+/// vector `cmp` + `blend` — no branch in the loop body.
+pub fn sum_saturating_vectorized(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        let sum = d.wrapping_add(*s);
+        *d = if sum < *d { u64::MAX } else { sum };
+    }
+}
+
+/// Sentinel slot id meaning "row does not participate in the fold"
+/// (pattern mismatch rows on the block-insert fast path).
+pub const SKIP_SLOT: u32 = u32::MAX;
+
+/// Detect the longest run starting at `i` of non-skip slot ids that
+/// are *strictly consecutive* (`slots[j+1] == slots[j] + 1`).
+///
+/// Consecutive slot ids are pairwise distinct, so the run's gather/fold
+/// has no intra-run aliasing and can be delegated to the contiguous
+/// vector kernels.
+#[inline]
+fn consecutive_run(slots: &[u32], i: usize) -> usize {
+    let mut j = i;
+    while j + 1 < slots.len() && slots[j] != SKIP_SLOT && slots[j + 1] == slots[j].wrapping_add(1) {
+        j += 1;
+    }
+    j + 1 - i
+}
+
+/// Minimum consecutive-run length worth a vector-kernel dispatch.
+const RUN_MIN: usize = 8;
+
+macro_rules! fold_slots {
+    ($name:ident, $scalar_op:expr, $vector_kernel:path, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// For each row `i`, folds `src[i]` into `dst[slots[i] as usize]`;
+        /// rows whose slot is [`SKIP_SLOT`] are ignored. Runs of strictly
+        /// consecutive slot ids (which cannot alias) of length ≥ 8 are
+        /// delegated to the contiguous vector kernel; the remainder runs
+        /// as a tight scalar loop.
+        ///
+        /// # Panics
+        /// Panics when `slots` and `src` differ in length, or a non-skip
+        /// slot is out of bounds for `dst`.
+        pub fn $name(dst: &mut [u64], slots: &[u32], src: &[u64]) {
+            assert_eq!(slots.len(), src.len(), "length mismatch");
+            let op = $scalar_op;
+            let mut i = 0;
+            while i < slots.len() {
+                let run = consecutive_run(slots, i);
+                if run >= RUN_MIN {
+                    let lo = slots[i] as usize;
+                    $vector_kernel(&mut dst[lo..lo + run], &src[i..i + run]);
+                    i += run;
+                    continue;
+                }
+                for j in i..i + run {
+                    let s = slots[j];
+                    if s != SKIP_SLOT {
+                        let d = &mut dst[s as usize];
+                        *d = op(*d, src[j]);
+                    }
+                }
+                i += run;
+            }
+        }
+    };
+}
+
+fold_slots!(
+    fold_slots_sum_saturating,
+    |a: u64, b: u64| a.saturating_add(b),
+    sum_saturating_vectorized,
+    "Slot-indexed saturating-sum fold (frequency pattern)."
+);
+fold_slots!(
+    fold_slots_max,
+    |a: u64, b: u64| a.max(b),
+    max_vectorized,
+    "Slot-indexed max fold (max pattern)."
+);
+fold_slots!(
+    fold_slots_min,
+    |a: u64, b: u64| a.min(b),
+    min_vectorized,
+    "Slot-indexed min fold (min pattern)."
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +228,55 @@ mod tests {
     fn length_mismatch_panics() {
         let mut d = vec![1, 2];
         sum_vectorized(&mut d, &[1]);
+    }
+
+    #[test]
+    fn saturating_sum_saturates_and_matches_plain_sum_below() {
+        let mut d = vec![1u64, u64::MAX - 1, 7];
+        sum_saturating_vectorized(&mut d, &[2, 5, 0]);
+        assert_eq!(d, vec![3, u64::MAX, 7]);
+    }
+
+    /// Reference fold: per-row, no run detection.
+    fn fold_ref(dst: &mut [u64], slots: &[u32], src: &[u64], op: impl Fn(u64, u64) -> u64) {
+        for (s, v) in slots.iter().zip(src) {
+            if *s != SKIP_SLOT {
+                dst[*s as usize] = op(dst[*s as usize], *v);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_folds_match_reference_on_random_slots() {
+        // Mix of scattered, consecutive (vector-delegated), duplicate,
+        // and skipped slots.
+        let mut slots: Vec<u32> = (0..64u32).collect(); // long consecutive run
+        slots.extend([5, 5, 5, 63, 0, SKIP_SLOT, 17, SKIP_SLOT, 2, 3, 4, 5]);
+        let src: Vec<u64> = (0..slots.len() as u64).map(|i| i * 11 + 1).collect();
+        let base: Vec<u64> = (0..70u64).map(|i| i * 3).collect();
+
+        for (fold, op) in [
+            (
+                fold_slots_sum_saturating as fn(&mut [u64], &[u32], &[u64]),
+                (|a: u64, b: u64| a.saturating_add(b)) as fn(u64, u64) -> u64,
+            ),
+            (fold_slots_max, |a, b| a.max(b)),
+            (fold_slots_min, |a, b| a.min(b)),
+        ] {
+            let mut got = base.clone();
+            let mut want = base.clone();
+            fold(&mut got, &slots, &src);
+            fold_ref(&mut want, &slots, &src, op);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn slot_fold_handles_all_skips_and_empty() {
+        let mut d = vec![9u64; 4];
+        fold_slots_sum_saturating(&mut d, &[], &[]);
+        fold_slots_sum_saturating(&mut d, &[SKIP_SLOT, SKIP_SLOT], &[1, 2]);
+        assert_eq!(d, vec![9; 4]);
     }
 
     #[test]

@@ -96,7 +96,7 @@ proptest! {
         let naive = naive_merge(&recs);
         prop_assert_eq!(table.len(), naive.len());
         for (k, v) in &naive {
-            prop_assert_eq!(table.get(k), Some(&AttrValue::Frequency(*v)), "{}", k);
+            prop_assert_eq!(table.get(k), Some(AttrValue::Frequency(*v)), "{}", k);
         }
     }
 
@@ -119,7 +119,7 @@ proptest! {
             let naive = naive_merge(&recs[evicted + 1..]);
             prop_assert_eq!(table.len(), naive.len(), "after evicting {}", evicted);
             for (k, v) in &naive {
-                prop_assert_eq!(table.get(k), Some(&AttrValue::Frequency(*v)));
+                prop_assert_eq!(table.get(k), Some(AttrValue::Frequency(*v)));
             }
         }
         prop_assert!(table.is_empty());

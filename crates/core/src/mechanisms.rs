@@ -344,7 +344,7 @@ fn report_table<A: WindowApp>(
     let reported = table
         .iter()
         .filter(|(_, v)| app.passes_attr(v))
-        .map(|(k, _)| *k)
+        .map(|(k, _)| k)
         .collect();
     let estimates = probes
         .iter()

@@ -127,10 +127,9 @@ pub fn run_flowradar(
         let reported = table
             .iter()
             .filter(|(_, v)| v.scalar() >= threshold)
-            .map(|(k, _)| *k)
+            .map(|(k, _)| k)
             .collect();
-        let estimates: HashMap<FlowKey, f64> =
-            table.iter().map(|(k, v)| (*k, v.scalar())).collect();
+        let estimates: HashMap<FlowKey, f64> = table.iter().map(|(k, v)| (k, v.scalar())).collect();
         windows.push(WindowResult {
             index,
             reported,

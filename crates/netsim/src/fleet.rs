@@ -34,6 +34,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use ow_common::afr::{AttrValue, FlowRecord};
+use ow_common::block::RecordBlock;
 use ow_common::flowkey::FlowKey;
 use ow_common::hash::mix64;
 use ow_common::metrics::ReliabilityMetrics;
@@ -47,6 +48,11 @@ use crate::fault::{FaultConfig, FaultStats, LossyChannel, PacketClass};
 /// Bits of the global sub-window id reserved for the switch-local
 /// window index; the rest carry the switch id.
 const LOCAL_BITS: u32 = 8;
+
+/// How many surviving AFR clones one wire block carries. Smaller than
+/// the controller's scatter capacity: the fleet models NIC-sized bursts,
+/// and a lost burst should not erase a whole sub-window.
+const FLEET_BLOCK_CAPACITY: usize = 256;
 
 /// Salt for the rendezvous assignment weights (fixed so the assignment
 /// is a pure function of `(switch, workers)`).
@@ -541,10 +547,15 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
                 } else {
                     base
                 };
-                for rec in channel.transmit(PacketClass::AfrReport, batch) {
+                // Whatever survived the channel travels in columnar
+                // bursts: one queue send per block, not per record.
+                let survivors = channel.transmit(PacketClass::AfrReport, batch);
+                for chunk in survivors.chunks(FLEET_BLOCK_CAPACITY) {
                     workers[worker]
                         .sender
-                        .send(ReliableMsg::Afr(rec))
+                        .send(ReliableMsg::AfrBlock(RecordBlock::from_records(
+                            global, chunk,
+                        )))
                         .expect("worker alive");
                 }
                 started += 1;

@@ -128,10 +128,21 @@ impl Gauge {
 
     /// Decrement by one, saturating at zero.
     pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Increment by `n` (batched movements, e.g. a whole record block
+    /// entering a queue).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
         let _ = self
             .0
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
+                Some(v.saturating_sub(n))
             });
     }
 

@@ -99,11 +99,11 @@ fn end_to_end_counts_are_exact_without_contention() {
 
     assert_eq!(
         table.get(&FlowKey::src_ip(5)),
-        Some(&AttrValue::Frequency(37 * 5))
+        Some(AttrValue::Frequency(37 * 5))
     );
     assert_eq!(
         table.get(&FlowKey::src_ip(6)),
-        Some(&AttrValue::Frequency(15))
+        Some(AttrValue::Frequency(15))
     );
     // Threshold query over the merged window.
     let heavy = table.flows_over(100.0);
@@ -127,7 +127,7 @@ fn overflow_keys_still_produce_afrs() {
     for src in 1..=10u32 {
         assert_eq!(
             table.get(&FlowKey::src_ip(src)),
-            Some(&AttrValue::Frequency(5)),
+            Some(AttrValue::Frequency(5)),
             "flow {src}"
         );
     }
@@ -148,7 +148,7 @@ fn boundary_flow_crosses_threshold_only_after_merging() {
     let table = run_pipeline(&mut sw, packets);
     assert_eq!(
         table.get(&FlowKey::src_ip(42)),
-        Some(&AttrValue::Frequency(140))
+        Some(AttrValue::Frequency(140))
     );
     assert!(!table.flows_over(100.0).is_empty());
 }
