@@ -1,6 +1,7 @@
 //! `bench_snapshot` — the PR-level perf snapshot gate for the batched
-//! C&R merge path: per-shard scaling off/on observability, a
-//! batch-size sweep, and a block-vs-per-record self-gate.
+//! C&R merge path: per-shard scaling off/on observability (and with
+//! the full health engine ticking), a batch-size sweep, and a
+//! block-vs-per-record self-gate.
 //!
 //! For each shard count ∈ {1, 2, 4, 8} the same deterministic lossless
 //! AFR workload streams through a [`ReliableLiveController`] as
@@ -12,13 +13,16 @@
 //! the way the old `BENCH_5.json` rows did.
 //!
 //! Three gates, any breach exits nonzero:
-//! - aggregate obs+tracing overhead must stay **under 10%**;
+//! - aggregate obs+tracing+health overhead must stay **under 10%** —
+//!   the health rows install the controller rule catalog and tick the
+//!   engine once per sub-window, so the budget covers snapshot capture
+//!   plus rule evaluation, not just metric recording;
 //! - the 8-shard block path must **beat the per-record path** measured
 //!   in the same run (otherwise batching is theater);
 //! - every run's final fold must hash to the **same FNV-1a digest** —
 //!   the determinism claim, checkable across processes by re-running.
 //!
-//! Writes `BENCH_8.json` at the repo root (override with `--json`),
+//! Writes `BENCH_9.json` at the repo root (override with `--json`),
 //! including a speedup column against the pinned PR 3 per-record
 //! baseline `results/bench_cr_pr3.json`.
 
@@ -30,11 +34,12 @@ use ow_bench::{cr_workload, Cli};
 use ow_common::afr::FlowRecord;
 use ow_common::block::{RecordBlock, DEFAULT_BLOCK_CAPACITY};
 use ow_common::time::Duration;
+use ow_controller::health::controller_health_rules;
 use ow_controller::live::{ReliableLiveController, ReliableMsg};
 use ow_controller::reliability::RetryPolicy;
 use ow_controller::wire::encode_merged;
 use ow_obs::json::ValueExt;
-use ow_obs::{Obs, TraceContext, TraceReport, Traced};
+use ow_obs::{FlightRecorderConfig, Obs, TraceContext, TraceReport, Traced};
 use serde::{Serialize, Value};
 
 /// One shard count's off/on measurement on the block path.
@@ -51,6 +56,11 @@ struct OverheadRow {
     /// `(on − off) / off`, as a percentage (negative = tracing faster,
     /// i.e. noise).
     overhead_pct: f64,
+    /// Best-of-3 rate with obs + tracing + the health engine installed
+    /// and ticking once per sub-window.
+    health_records_per_sec: f64,
+    /// `(health − off) / off`, as a percentage.
+    health_overhead_pct: f64,
     /// PR 3's per-record `bench_cr` rate at this shard count, from the
     /// pinned baseline, when readable.
     baseline_records_per_sec: Option<f64>,
@@ -85,9 +95,9 @@ struct SmokeStats {
     slo_violations: u64,
 }
 
-/// The whole `BENCH_8.json` document.
+/// The whole `BENCH_9.json` document.
 #[derive(Debug, Clone, Serialize)]
-struct Bench8 {
+struct Bench9 {
     /// Fixed run label.
     run: String,
     /// Sub-windows in the workload.
@@ -111,6 +121,9 @@ struct Bench8 {
     fold_digest: String,
     /// Aggregate obs+tracing overhead across all shard counts, %.
     aggregate_overhead_pct: f64,
+    /// Aggregate obs+tracing+health overhead across all shard counts,
+    /// % — the figure the 10% budget gates.
+    aggregate_health_overhead_pct: f64,
     /// The traced smoke run's statistics.
     obs_smoke: SmokeStats,
 }
@@ -158,6 +171,19 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// What observability the run pays for.
+#[derive(Clone, Copy, PartialEq)]
+enum ObsMode {
+    /// Bare pipeline.
+    Off,
+    /// Registry + journal + wire-propagated span tracing.
+    Traced,
+    /// Tracing plus the health engine (controller catalog) ticking
+    /// once per sub-window — registry snapshot capture and rule
+    /// evaluation inside the timed region.
+    Health,
+}
+
 /// How the workload goes onto the reliable queue.
 #[derive(Clone, Copy)]
 enum Feed {
@@ -179,6 +205,7 @@ fn run_once(
     shards: usize,
     span: usize,
     obs: Option<&Obs>,
+    health: bool,
     feed: Feed,
 ) -> (f64, u64) {
     let prepared: Vec<Vec<RecordBlock>> = match feed {
@@ -192,6 +219,12 @@ fn run_once(
                     .collect()
             })
             .collect(),
+    };
+    let engine = match (obs, health) {
+        (Some(o), true) => {
+            Some(o.install_health(controller_health_rules(), FlightRecorderConfig::default()))
+        }
+        _ => None,
     };
     let ctl = ReliableLiveController::spawn_sharded_obs(
         span,
@@ -273,6 +306,11 @@ fn run_once(
         ctl.sender
             .send(ReliableMsg::EndOfStream { subwindow: sw })
             .expect("controller alive");
+        if let Some(engine) = &engine {
+            engine.tick(ow_common::time::Instant::from_micros(
+                (u64::from(sw) + 1) * 100,
+            ));
+        }
     }
     let handle = ctl.handle.clone();
     let metrics = ctl.join();
@@ -281,6 +319,15 @@ fn run_once(
         metrics.recovered, 0,
         "lossless workload must complete on the first pass"
     );
+    if let Some(engine) = &engine {
+        // A lossless bench is a healthy system: the catalog must stay
+        // silent while it is being paid for (another precision gate).
+        assert!(
+            engine.timeline().is_empty() && !engine.frozen(),
+            "health engine alerted on a lossless bench: {:?}",
+            engine.timeline()
+        );
+    }
     (wall, fnv1a(&encode_merged(&handle.snapshot())))
 }
 
@@ -291,16 +338,14 @@ fn best_of_3(
     batches: &[Vec<FlowRecord>],
     shards: usize,
     span: usize,
-    traced: bool,
+    mode: ObsMode,
     feed: Feed,
 ) -> (f64, u64) {
     let runs: Vec<(f64, u64)> = (0..3)
-        .map(|_| {
-            if traced {
-                run_once(batches, shards, span, Some(&Obs::new()), feed)
-            } else {
-                run_once(batches, shards, span, None, feed)
-            }
+        .map(|_| match mode {
+            ObsMode::Off => run_once(batches, shards, span, None, false, feed),
+            ObsMode::Traced => run_once(batches, shards, span, Some(&Obs::new()), false, feed),
+            ObsMode::Health => run_once(batches, shards, span, Some(&Obs::new()), true, feed),
         })
         .collect();
     let digest = runs[0].1;
@@ -317,10 +362,13 @@ fn best_of_3(
 fn main() {
     let mut cli = Cli::parse();
     if cli.json.is_none() {
-        cli.json = Some("BENCH_8.json".into());
+        cli.json = Some("BENCH_9.json".into());
     }
     let (subwindows, records, population) = match cli.scale {
-        Scale::Tiny | Scale::Small => (8u32, 2_500u32, 1_024u32),
+        // Big enough that each timed run is ~10ms+: the overhead gate
+        // compares wall times, and single-digit-ms runs drown in
+        // scheduler noise on shared CI machines.
+        Scale::Tiny | Scale::Small => (8u32, 10_000u32, 4_096u32),
         // Same workload scale as `bench_cr`: big enough that a run is
         // wall-clock dominated by the merge, not thread spawn, so the
         // per-shard rows actually show scaling.
@@ -333,36 +381,45 @@ fn main() {
 
     eprintln!(
         "running bench_snapshot: {subwindows} sub-windows × {records} AFRs, block path, \
-         obs off/on, shards 1/2/4/8 + batch sweep (best of 3)…"
+         obs off/on/health, shards 1/2/4/8 + batch sweep (best of 3)…"
     );
 
     let mut rows = Vec::new();
     let mut off_total = 0.0f64;
     let mut on_total = 0.0f64;
+    let mut health_total = 0.0f64;
     let mut digest = None;
     for shards in [1usize, 2, 4, 8] {
         let (off, d_off) = best_of_3(
             &batches,
             shards,
             window_span,
-            false,
+            ObsMode::Off,
             Feed::Blocks(DEFAULT_BLOCK_CAPACITY),
         );
         let (on, d_on) = best_of_3(
             &batches,
             shards,
             window_span,
-            true,
+            ObsMode::Traced,
+            Feed::Blocks(DEFAULT_BLOCK_CAPACITY),
+        );
+        let (health, d_health) = best_of_3(
+            &batches,
+            shards,
+            window_span,
+            ObsMode::Health,
             Feed::Blocks(DEFAULT_BLOCK_CAPACITY),
         );
         let expect = *digest.get_or_insert(d_off);
         assert_eq!(
-            (d_off, d_on),
-            (expect, expect),
-            "fold digest varied across shard counts"
+            (d_off, d_on, d_health),
+            (expect, expect, expect),
+            "fold digest varied across shard counts or obs modes"
         );
         off_total += off;
         on_total += on;
+        health_total += health;
         let base = baseline
             .iter()
             .find(|(s, _)| *s == shards as u64)
@@ -374,23 +431,27 @@ fn main() {
             off_records_per_sec: off_rate,
             on_records_per_sec: total as f64 / on,
             overhead_pct: (on - off) / off * 100.0,
+            health_records_per_sec: total as f64 / health,
+            health_overhead_pct: (health - off) / off * 100.0,
             baseline_records_per_sec: base,
             speedup_vs_pr3: base.map(|b| off_rate / b),
         });
     }
     let aggregate_overhead_pct = (on_total - off_total) / off_total * 100.0;
+    let aggregate_health_overhead_pct = (health_total - off_total) / off_total * 100.0;
 
     // The self-gate reference: the same workload as one message per
     // record, measured in this very run on this very machine — no
     // stale-baseline excuses.
-    let (per_record_wall, d_ref) = best_of_3(&batches, 8, window_span, false, Feed::PerRecord);
+    let (per_record_wall, d_ref) =
+        best_of_3(&batches, 8, window_span, ObsMode::Off, Feed::PerRecord);
     let per_record_rate = total as f64 / per_record_wall;
     let expect = digest.expect("per-shard rows ran first");
     assert_eq!(d_ref, expect, "per-record fold diverged from block fold");
 
     let mut sweep = Vec::new();
     for cap in [1usize, 16, 256, 1024] {
-        let (wall, d) = best_of_3(&batches, 8, window_span, false, Feed::Blocks(cap));
+        let (wall, d) = best_of_3(&batches, 8, window_span, ObsMode::Off, Feed::Blocks(cap));
         assert_eq!(d, expect, "fold digest varied across block capacities");
         let rate = total as f64 / wall;
         sweep.push(SweepRow {
@@ -428,21 +489,20 @@ fn main() {
             .count() as u64,
     };
 
-    println!("bench_snapshot: block-path obs + span-tracing overhead per shard count\n");
+    println!("bench_snapshot: block-path obs/tracing/health overhead per shard count\n");
     println!(
-        "  {:>6} {:>14} {:>14} {:>10} {:>16} {:>12}",
-        "shards", "off rec/s", "on rec/s", "overhead", "PR3 baseline", "speedup"
+        "  {:>6} {:>14} {:>14} {:>10} {:>14} {:>10} {:>12}",
+        "shards", "off rec/s", "on rec/s", "overhead", "health rec/s", "overhead", "speedup"
     );
     for r in &rows {
         println!(
-            "  {:>6} {:>14.0} {:>14.0} {:>9.1}% {:>16} {:>12}",
+            "  {:>6} {:>14.0} {:>14.0} {:>9.1}% {:>14.0} {:>9.1}% {:>12}",
             r.shards,
             r.off_records_per_sec,
             r.on_records_per_sec,
             r.overhead_pct,
-            r.baseline_records_per_sec
-                .map(|b| format!("{b:.0}"))
-                .unwrap_or_else(|| "-".into()),
+            r.health_records_per_sec,
+            r.health_overhead_pct,
             r.speedup_vs_pr3
                 .map(|s| format!("{s:.2}x"))
                 .unwrap_or_else(|| "-".into()),
@@ -457,12 +517,13 @@ fn main() {
         );
     }
     println!(
-        "\n  aggregate overhead: {aggregate_overhead_pct:.1}%  fold digest: {expect:016x}  \
+        "\n  aggregate overhead: {aggregate_overhead_pct:.1}% (obs+tracing), \
+         {aggregate_health_overhead_pct:.1}% (+health engine)  fold digest: {expect:016x}  \
          (smoke: {} traces, {} spans, {} SLO violation(s))",
         stats.traces, stats.spans, stats.slo_violations
     );
 
-    let result = Bench8 {
+    let result = Bench9 {
         run: "bench_snapshot".to_string(),
         subwindows,
         records_per_subwindow: records,
@@ -474,15 +535,16 @@ fn main() {
         block_beats_per_record,
         fold_digest: format!("{expect:016x}"),
         aggregate_overhead_pct,
+        aggregate_health_overhead_pct,
         obs_smoke: stats,
     };
     cli.dump(&result);
 
     let mut failed = false;
-    if aggregate_overhead_pct >= 10.0 {
+    if aggregate_health_overhead_pct >= 10.0 {
         eprintln!(
-            "bench_snapshot: FAIL — obs+tracing overhead {aggregate_overhead_pct:.1}% \
-             breaches the 10% budget"
+            "bench_snapshot: FAIL — obs+tracing+health overhead \
+             {aggregate_health_overhead_pct:.1}% breaches the 10% budget"
         );
         failed = true;
     }

@@ -1,0 +1,309 @@
+//! Fleet health-engine smoke: precision/recall acceptance for the
+//! `ow_obs::health` rule catalogs plus the black-box flight recorder.
+//!
+//! Three phases, all deterministic under `--seed`:
+//!
+//! 1. **Lossless gate** — a clean fleet run with the full fleet +
+//!    controller catalog installed must raise *zero* alerts (perfect
+//!    precision on a healthy system) and leave the recorder unfrozen.
+//! 2. **Forced critical** — the instrumented `obs_smoke` pipeline (10%
+//!    loss, one deterministic switch-OS escalation) must fire the
+//!    expected switch/controller rules, freeze the black box on the
+//!    critical `OW-HEALTH-204`, and produce *byte-identical* flight
+//!    dumps across two same-seed runs.
+//! 3. **Fleet chaos** — 30% AFR loss, a 90%-loss burst on rack 1, one
+//!    crash, and a forced escalation drill must fire exactly the
+//!    matching rules (recall) and nothing else (precision): `302` only
+//!    for the bursting rack, never `303` on a drained fleet. The run
+//!    repeats with the same seed and the two flight dumps must match
+//!    byte for byte; the dump lands in
+//!    `results/flightrec_health_smoke.json` (override with
+//!    `--trace-json <path>`) and the phase reports in
+//!    `results/health_smoke.json` (override with `--json <path>`).
+//!
+//! Any missed alert, spurious alert, schema violation, or
+//! nondeterministic dump exits nonzero, so CI gates on all of them.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use omniwindow::experiments::obs_smoke::{self, ObsSmokeConfig};
+use ow_bench::Cli;
+use ow_common::time::{Duration, Instant};
+use ow_controller::health::controller_health_rules;
+use ow_netsim::fleet::{self, fleet_health_rules};
+use ow_netsim::{ChurnEvent, ChurnKind, FleetConfig, RackBurst};
+use ow_obs::{
+    json, validate_flightrec_json, FlightRecorderConfig, HealthEngine, HealthReport, Obs, RuleSet,
+};
+use ow_switch::health::switch_health_rules;
+use serde::Serialize;
+
+/// Everything the smoke writes to `results/health_smoke.json`.
+#[derive(Serialize)]
+struct HealthSmokeDoc {
+    run: String,
+    seed: u64,
+    lossless: HealthReport,
+    forced_critical: HealthReport,
+    fleet_chaos: HealthReport,
+    fired_codes: Vec<String>,
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("health smoke FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// The `(code, entity)` pairs that *fired* (ignoring clears) in a
+/// timeline, deduplicated and sorted.
+fn fired_pairs(engine: &HealthEngine) -> BTreeSet<(String, String)> {
+    engine
+        .timeline()
+        .iter()
+        .filter(|a| a.state == "fired")
+        .map(|a| (a.code.clone(), a.entity.clone()))
+        .collect()
+}
+
+/// Phase 1: a lossless fleet raises no alerts at all.
+fn lossless_gate(cli: &Cli) -> HealthReport {
+    let obs = Obs::new();
+    let rules = RuleSet::merged(vec![fleet_health_rules(), controller_health_rules()])
+        .expect("fleet + controller catalogs merge");
+    let engine = obs.install_health(rules, FlightRecorderConfig::default());
+    let cfg = FleetConfig {
+        switches: 16,
+        workers: 2,
+        local_windows: 3,
+        afr_loss: 0.0,
+        seed: cli.seed,
+        ..FleetConfig::default()
+    };
+    let report = fleet::run(&cfg, Some(&obs));
+    if !report.all_windows_accounted() {
+        fail(format!(
+            "lossless fleet lost windows: started {} merged {} departed {}",
+            report.started_windows, report.merged_windows, report.departed_windows
+        ));
+    }
+    let timeline = engine.timeline();
+    if !timeline.is_empty() {
+        fail(format!(
+            "lossless fleet raised {} alert event(s); first: {:?}",
+            timeline.len(),
+            timeline[0]
+        ));
+    }
+    if engine.frozen() {
+        fail("lossless fleet froze the flight recorder".into());
+    }
+    let hr = engine.report("health_smoke_lossless");
+    if hr.fleet_score != 1000 {
+        fail(format!("lossless fleet score {} != 1000", hr.fleet_score));
+    }
+    println!(
+        "  lossless: {} windows merged, 0 alerts, fleet score 1000/1000",
+        report.merged_windows
+    );
+    hr
+}
+
+/// One forced-critical `obs_smoke` run: returns the engine's report,
+/// the fired `(code, entity)` pairs, and the flight dump JSON.
+fn forced_critical_once(seed: u64) -> (HealthReport, BTreeSet<(String, String)>, String) {
+    let cfg = ObsSmokeConfig {
+        seed,
+        ..ObsSmokeConfig::default()
+    };
+    let out = obs_smoke::run(&cfg);
+    let rules = RuleSet::merged(vec![switch_health_rules(), controller_health_rules()])
+        .expect("switch + controller catalogs merge");
+    let engine = out
+        .obs
+        .install_health(rules, FlightRecorderConfig::default());
+    // One settle tick after the whole virtual trace (~500ms) quiesced.
+    engine.tick(Instant::from_millis(1_000));
+    let dump = match engine.flight_dump("health_smoke_forced") {
+        Some(d) => d.to_json(),
+        None => fail("forced-critical run did not freeze the flight recorder".into()),
+    };
+    (
+        engine.report("health_smoke_forced"),
+        fired_pairs(&engine),
+        dump,
+    )
+}
+
+/// One fleet-chaos run: 30% loss, rack-1 burst, one crash, escalation
+/// drill. The settle tick inside `fleet::run` evaluates the rules.
+fn fleet_chaos_once(seed: u64) -> (HealthReport, BTreeSet<(String, String)>, String) {
+    let obs = Obs::with_journal_capacity(1 << 15);
+    // OW-HEALTH-201 judges per-shard queue high-watermarks, which are
+    // thread-scheduling noise under live workers — dropped here so the
+    // dump byte-identity gate only sees virtual-clock-deterministic
+    // signals (the rule's firing path is unit-tested in ow-controller).
+    let rules = RuleSet::merged(vec![fleet_health_rules(), controller_health_rules()])
+        .expect("fleet + controller catalogs merge")
+        .without(&["OW-HEALTH-201"]);
+    let engine = obs.install_health(rules, FlightRecorderConfig::default());
+    let cfg = FleetConfig {
+        switches: 32,
+        workers: 4,
+        local_windows: 4,
+        afr_loss: 0.30,
+        bursts: vec![RackBurst {
+            rack: 1,
+            from: Duration::ZERO,
+            until: Duration::from_millis(100),
+            loss: 0.90,
+        }],
+        churn: vec![ChurnEvent {
+            at: Duration::from_micros(1_700),
+            switch: 2,
+            kind: ChurnKind::Crash,
+        }],
+        escalate_every: 6,
+        seed,
+        ..FleetConfig::default()
+    };
+    let report = fleet::run(&cfg, Some(&obs));
+    if report.merged_windows == 0 {
+        fail("chaos fleet merged nothing — the scenario is broken".into());
+    }
+    let dump = match engine.flight_dump("health_smoke_chaos") {
+        Some(d) => d.to_json(),
+        None => fail("chaos fleet did not freeze the flight recorder".into()),
+    };
+    (
+        engine.report("health_smoke_chaos"),
+        fired_pairs(&engine),
+        dump,
+    )
+}
+
+/// Check recall (every expected pair fired) and precision (nothing
+/// outside the expected set fired) for one phase.
+fn check_fired(phase: &str, fired: &BTreeSet<(String, String)>, expected: &[(&str, &str)]) {
+    let want: BTreeSet<(String, String)> = expected
+        .iter()
+        .map(|(c, e)| (c.to_string(), e.to_string()))
+        .collect();
+    for pair in &want {
+        if !fired.contains(pair) {
+            fail(format!(
+                "{phase}: expected {pair:?} to fire; fired set: {fired:?}"
+            ));
+        }
+    }
+    for pair in fired {
+        if !want.contains(pair) {
+            fail(format!(
+                "{phase}: spurious alert {pair:?}; expected only {want:?}"
+            ));
+        }
+    }
+}
+
+/// Parse + schema-validate a flight dump.
+fn validate_dump(phase: &str, dump: &str) {
+    let doc = match json::parse(dump) {
+        Ok(doc) => doc,
+        Err(e) => fail(format!("{phase}: flight dump unparsable: {e}")),
+    };
+    if let Err(e) = validate_flightrec_json(&doc) {
+        fail(format!("{phase}: flight dump schema invalid: {e}"));
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    cli.progress(format!("health smoke, seed {}…", cli.seed));
+
+    println!("phase 1: lossless precision gate");
+    let lossless = lossless_gate(&cli);
+
+    println!("phase 2: forced-critical black box (obs_smoke pipeline)");
+    let (forced, forced_fired, forced_dump) = forced_critical_once(cli.seed);
+    let (_, _, forced_dump_b) = forced_critical_once(cli.seed);
+    if forced_dump != forced_dump_b {
+        fail("forced-critical flight dumps differ across same-seed runs".into());
+    }
+    validate_dump("forced critical", &forced_dump);
+    check_fired(
+        "forced critical",
+        &forced_fired,
+        // The smoke serves retransmits from a replay map rather than
+        // the switch pipeline, so the 1xx switch rules stay silent
+        // here (their firing paths are covered by the catalog's unit
+        // tests); the controller folds are the live signals.
+        &[
+            ("OW-HEALTH-203", "controller"), // the 40ms OS read blows the 1ms SLO budget
+            ("OW-HEALTH-204", "controller"), // 1 escalation over 5 sessions is a storm
+        ],
+    );
+    if !forced.frozen {
+        fail("forced-critical report does not mark the recorder frozen".into());
+    }
+    println!(
+        "  forced critical: {:?} fired, dump byte-identical across runs",
+        forced_fired.iter().map(|(c, _)| c).collect::<Vec<_>>()
+    );
+
+    println!("phase 3: fleet chaos (30% loss + rack-1 burst + crash + escalation drill)");
+    let (chaos, chaos_fired, chaos_dump) = fleet_chaos_once(cli.seed);
+    let (_, chaos_fired_b, chaos_dump_b) = fleet_chaos_once(cli.seed);
+    if chaos_fired != chaos_fired_b {
+        fail("chaos alert sets differ across same-seed runs".into());
+    }
+    if chaos_dump != chaos_dump_b {
+        fail("chaos flight dumps differ across same-seed runs".into());
+    }
+    validate_dump("fleet chaos", &chaos_dump);
+    check_fired(
+        "fleet chaos",
+        &chaos_fired,
+        &[
+            ("OW-HEALTH-203", "controller"), // escalated recoveries burn the SLO budget
+            ("OW-HEALTH-204", "controller"), // every 6th window escalates: a storm (critical)
+            ("OW-HEALTH-205", "controller"), // 30% loss is a retransmit storm
+            ("OW-HEALTH-301", "fleet"),      // the crash of switch 2
+            ("OW-HEALTH-302", "rack:1"),     // only the bursting rack degrades
+        ],
+    );
+    if !chaos.frozen {
+        fail("chaos report does not mark the recorder frozen".into());
+    }
+    println!(
+        "  fleet chaos: {:?} fired, dump byte-identical across runs",
+        chaos_fired.iter().map(|(c, _)| c).collect::<Vec<_>>()
+    );
+
+    let rec_path = cli
+        .trace_json
+        .clone()
+        .unwrap_or_else(|| "results/flightrec_health_smoke.json".to_string());
+    if let Err(e) = std::fs::write(Path::new(&rec_path), format!("{chaos_dump}\n")) {
+        fail(format!("failed to write {rec_path}: {e}"));
+    }
+    cli.progress(format!("flight dump written to {rec_path}"));
+
+    let doc = HealthSmokeDoc {
+        run: "health_smoke".into(),
+        seed: cli.seed,
+        lossless,
+        forced_critical: forced,
+        fired_codes: chaos_fired.iter().map(|(c, _)| c.clone()).collect(),
+        fleet_chaos: chaos,
+    };
+    let path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "results/health_smoke.json".to_string());
+    let body = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    if let Err(e) = std::fs::write(Path::new(&path), format!("{body}\n")) {
+        fail(format!("failed to write {path}: {e}"));
+    }
+    cli.progress(format!("health report written to {path}"));
+    println!("health smoke OK: all three phases match their expected alert sets");
+}

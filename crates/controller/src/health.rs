@@ -1,0 +1,237 @@
+//! Controller-side health rules for the `ow_obs::health` engine.
+//!
+//! These interpret the controller's registry footprint: the sharded
+//! merge path's queue gauges (`ow_controller_shard_queue_*`), the C&R
+//! reliability counters folded per session
+//! (`ow_controller_{retransmit_requests,escalations,…}_total`), and
+//! the recovery-phase latency histogram that PR 5's SLO machinery
+//! feeds. Install with [`controller_health_rules`] (alone or merged
+//! with the switch and fleet catalogs via `RuleSet::merged`).
+//!
+//! | code | rule | signal |
+//! |------|------|--------|
+//! | `OW-HEALTH-201` | `shard_queue_saturation` | per-shard queued-record high-watermark near capacity |
+//! | `OW-HEALTH-202` | `backpressure_drops` | any record dropped by backpressure |
+//! | `OW-HEALTH-203` | `recovery_slo_burn` | recovery-latency SLO burn rate above budget |
+//! | `OW-HEALTH-204` | `escalation_storm` | switch-OS escalations per 1000 sessions above 50‰ (**critical**) |
+//! | `OW-HEALTH-205` | `cr_retransmit_storm` | AFRs recovered by retransmission per 1000 announced above 150‰ |
+
+use ow_obs::{Cmp, MetricSelector, Rule, RuleSet, Severity, Signal};
+
+/// Queued-record capacity the saturation rule judges peaks against.
+/// The default is far above anything the in-tree scenarios enqueue —
+/// saturating a shard queue is exceptional by construction — and
+/// callers with small bounded queues pass their real capacity.
+pub const DEFAULT_SHARD_QUEUE_CAPACITY: u64 = 1 << 20;
+
+/// Saturation threshold (‰ of capacity) for `OW-HEALTH-201`.
+pub const QUEUE_SATURATION_PERMILLE: u64 = 800;
+
+/// Recovery SLO deadline (virtual ns) for the burn-rate rule: normal
+/// lossy recovery lands well under 1ms, switch-OS escalation rounds
+/// (tens of ms of control-plane reads) blow past it.
+pub const RECOVERY_SLO_DEADLINE_NS: u64 = 1_000_000;
+
+/// Error budget (‰ of sessions allowed past the deadline) for
+/// `OW-HEALTH-203`.
+pub const RECOVERY_SLO_BUDGET_PERMILLE: u64 = 50;
+
+/// Escalation-storm threshold (‰ of sessions escalating to switch-OS
+/// reads) for the critical `OW-HEALTH-204`.
+pub const ESCALATION_STORM_PERMILLE: u64 = 50;
+
+/// Retransmit-storm threshold (‰ of announced AFRs recovered through
+/// the §8 retransmission loop) for `OW-HEALTH-205`: the loop holds
+/// this near the loss rate, so 150‰ separates heavy loss (30%) from
+/// the 10% steady state.
+pub const CR_RETRANSMIT_STORM_PERMILLE: u64 = 150;
+
+/// The controller rule catalog (`OW-HEALTH-2xx`) with an explicit
+/// shard-queue capacity.
+pub fn controller_health_rules_with_capacity(queue_capacity: u64) -> RuleSet {
+    RuleSet::new(vec![
+        Rule::new(
+            "OW-HEALTH-201",
+            "shard_queue_saturation",
+            MetricSelector::new("ow_controller_shard_queue_records", &[]),
+            Signal::SaturationPermille {
+                capacity: queue_capacity,
+            },
+            Cmp::Above,
+            QUEUE_SATURATION_PERMILLE,
+            Severity::Warning,
+        )
+        .group_by("shard")
+        .entity("shard"),
+        Rule::new(
+            "OW-HEALTH-202",
+            "backpressure_drops",
+            MetricSelector::new("ow_controller_backpressure_dropped_total", &[]),
+            Signal::Value,
+            Cmp::Above,
+            0,
+            Severity::Warning,
+        )
+        .entity("controller"),
+        Rule::new(
+            "OW-HEALTH-203",
+            "recovery_slo_burn",
+            MetricSelector::new("ow_controller_cr_phase_duration", &[("phase", "recovery")]),
+            Signal::BurnRatePermille {
+                deadline_ns: RECOVERY_SLO_DEADLINE_NS,
+                budget_permille: RECOVERY_SLO_BUDGET_PERMILLE,
+            },
+            Cmp::Above,
+            1000,
+            Severity::Warning,
+        )
+        .entity("controller"),
+        Rule::new(
+            "OW-HEALTH-204",
+            "escalation_storm",
+            MetricSelector::new("ow_controller_escalations_total", &[]),
+            Signal::RatioPermille {
+                denominator: MetricSelector::new("ow_controller_sessions_total", &[]),
+            },
+            Cmp::Above,
+            ESCALATION_STORM_PERMILLE,
+            Severity::Critical,
+        )
+        .entity("controller"),
+        Rule::new(
+            "OW-HEALTH-205",
+            "cr_retransmit_storm",
+            MetricSelector::new("ow_controller_afr_recovered_total", &[]),
+            Signal::RatioPermille {
+                denominator: MetricSelector::new("ow_controller_afr_announced_total", &[]),
+            },
+            Cmp::Above,
+            CR_RETRANSMIT_STORM_PERMILLE,
+            Severity::Warning,
+        )
+        .entity("controller"),
+    ])
+    .expect("controller rule catalog validates")
+}
+
+/// The controller rule catalog with [`DEFAULT_SHARD_QUEUE_CAPACITY`].
+pub fn controller_health_rules() -> RuleSet {
+    controller_health_rules_with_capacity(DEFAULT_SHARD_QUEUE_CAPACITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_obs::{FlightRecorderConfig, HealthSample, MetricSnapshot, Obs, PeakSample};
+
+    fn metric(name: &str, labels: &[(&str, &str)], value: u64) -> MetricSnapshot {
+        MetricSnapshot {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind: "counter".into(),
+            value,
+            histogram: None,
+        }
+    }
+
+    #[test]
+    fn catalog_validates_and_merges_with_the_switch_catalog() {
+        let merged = RuleSet::merged(vec![
+            controller_health_rules(),
+            ow_switch::health::switch_health_rules(),
+        ])
+        .expect("cross-catalog codes stay unique");
+        assert_eq!(merged.rules().len(), 8);
+    }
+
+    #[test]
+    fn queue_saturation_judges_the_peak_not_the_drained_value() {
+        let obs = Obs::new();
+        let engine = obs.install_health(
+            controller_health_rules_with_capacity(100),
+            FlightRecorderConfig::default(),
+        );
+        // Queue spiked to 90 records mid-window but drained to 0 by
+        // the sample: the instantaneous gauge hides it, the
+        // high-watermark does not (900‰ of a 100-record capacity).
+        let fired = engine.tick_with_sample(HealthSample {
+            at_ns: 1_000,
+            metrics: vec![metric(
+                "ow_controller_shard_queue_records",
+                &[("shard", "2")],
+                0,
+            )],
+            peaks: vec![PeakSample {
+                name: "ow_controller_shard_queue_records".into(),
+                labels: vec![("shard".into(), "2".into())],
+                peak: 90,
+            }],
+        });
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].code, "OW-HEALTH-201");
+        assert_eq!(fired[0].entity, "shard:2");
+        assert_eq!(fired[0].value, 900);
+    }
+
+    #[test]
+    fn escalation_storm_is_critical_and_freezes_the_black_box() {
+        let obs = Obs::new();
+        let engine = obs.install_health(controller_health_rules(), FlightRecorderConfig::default());
+        // 1 escalation per 100 sessions = 10‰: within tolerance.
+        engine.tick_with_sample(HealthSample {
+            at_ns: 1_000,
+            metrics: vec![
+                metric("ow_controller_escalations_total", &[], 1),
+                metric("ow_controller_sessions_total", &[], 100),
+            ],
+            peaks: vec![],
+        });
+        assert!(!engine.frozen());
+        // 10 per 100 = 100‰: a storm — critical, so the recorder
+        // freezes with the rule in the reason line.
+        let fired = engine.tick_with_sample(HealthSample {
+            at_ns: 2_000,
+            metrics: vec![
+                metric("ow_controller_escalations_total", &[], 10),
+                metric("ow_controller_sessions_total", &[], 100),
+            ],
+            peaks: vec![],
+        });
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].severity, "critical");
+        assert!(engine.frozen());
+        let dump = engine.flight_dump("unit").expect("critical froze the box");
+        assert!(dump.freeze_reason.contains("OW-HEALTH-204"));
+    }
+
+    #[test]
+    fn recovery_burn_fires_when_escalated_sessions_blow_the_deadline() {
+        use ow_common::time::Duration;
+        let obs = Obs::new();
+        let engine = obs.install_health(controller_health_rules(), FlightRecorderConfig::default());
+        let hist = obs.histogram("ow_controller_cr_phase_duration", &[("phase", "recovery")]);
+        // 19 fast recoveries (~100µs) + 1 escalated one (40ms): 5% of
+        // sessions past the 1ms deadline against a 5% budget — at the
+        // edge, not over. Ten escalations (~34%) burn 6.9× the budget.
+        for _ in 0..19 {
+            hist.record(Duration::from_micros(100));
+        }
+        hist.record(Duration::from_millis(40));
+        let edge = engine.tick(ow_common::time::Instant(1_000_000));
+        assert!(edge.iter().all(|a| a.code != "OW-HEALTH-203"), "{edge:?}");
+        for _ in 0..9 {
+            hist.record(Duration::from_millis(40));
+        }
+        let fired = engine.tick(ow_common::time::Instant(2_000_000));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].code, "OW-HEALTH-203");
+        assert!(
+            fired[0].value > 1000,
+            "burn {} must exceed budget",
+            fired[0].value
+        );
+    }
+}

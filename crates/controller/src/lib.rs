@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod collector;
+pub mod health;
 pub mod live;
 pub mod rdma;
 pub mod reliability;

@@ -38,10 +38,10 @@ use ow_common::block::RecordBlock;
 use ow_common::flowkey::FlowKey;
 use ow_common::hash::mix64;
 use ow_common::metrics::ReliabilityMetrics;
-use ow_common::time::Duration;
+use ow_common::time::{Duration, Instant};
 use ow_controller::live::{ReliableLiveController, ReliableMsg};
 use ow_controller::reliability::RetryPolicy;
-use ow_obs::{Gauge, Obs};
+use ow_obs::{Cmp, Counter, Gauge, MetricSelector, Obs, Rule, RuleSet, Severity, Signal};
 
 use crate::fault::{FaultConfig, FaultStats, LossyChannel, PacketClass};
 
@@ -484,6 +484,28 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
         let initially_live = presence.values().filter(|p| p.from_ns == 0).count();
         g.set(initially_live as u64);
     }
+    // Health-engine inputs: declared fleet size, crash liveness (leaves
+    // are expected churn, crashes are faults), and per-rack offered/
+    // dropped AFR counters for correlated-degradation detection. All
+    // maintained on the replay thread, so totals are deterministic.
+    let rack_count = cfg.switches.div_ceil(cfg.rack_size.max(1)).max(1);
+    let crash_counter: Option<Counter> =
+        obs.map(|o| o.counter("ow_fleet_switch_crashes_total", &[]));
+    let rack_counters: Option<Vec<(Counter, Counter)>> = obs.map(|o| {
+        (0..rack_count)
+            .map(|r| {
+                let r = r.to_string();
+                (
+                    o.counter("ow_fleet_rack_offered_total", &[("rack", &r)]),
+                    o.counter("ow_fleet_rack_dropped_total", &[("rack", &r)]),
+                )
+            })
+            .collect()
+    });
+    if let Some(o) = obs {
+        o.gauge("ow_fleet_switches_declared", &[])
+            .set(cfg.switches as u64);
+    }
 
     // Per-switch lossy links: a baseline channel plus a degraded burst
     // channel, both privately seeded so the draw sequences are fixed by
@@ -549,7 +571,13 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
                 };
                 // Whatever survived the channel travels in columnar
                 // bursts: one queue send per block, not per record.
+                let offered = batch.len() as u64;
                 let survivors = channel.transmit(PacketClass::AfrReport, batch);
+                if let Some(racks) = &rack_counters {
+                    let (offered_total, dropped_total) = &racks[cfg.rack_of(ev.switch) as usize];
+                    offered_total.add(offered);
+                    dropped_total.add(offered - survivors.len() as u64);
+                }
                 for chunk in survivors.chunks(FLEET_BLOCK_CAPACITY) {
                     workers[worker]
                         .sender
@@ -588,6 +616,9 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
             FleetEventKind::Crash => {
                 if let Some(g) = &live_gauge {
                     g.dec();
+                }
+                if let Some(c) = &crash_counter {
+                    c.inc();
                 }
                 for (global, w) in inflight.remove(&ev.switch).unwrap_or_default() {
                     workers[w]
@@ -630,6 +661,17 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
         fault_stats.merge(base.stats());
         fault_stats.merge(burst.stats());
     }
+    // Evaluate the health engine (when installed) at the quiesce point:
+    // after every worker has drained and joined, counter totals and
+    // final gauge values are deterministic per seed — journal
+    // *interleaving* across workers is not, which is exactly why the
+    // fleet ticks at settle instead of mid-replay.
+    if let Some(o) = obs {
+        if let Some(health) = o.health() {
+            let settle_ns = events.last().map_or(0, |e| e.at_ns) + cfg.subwindow_len.as_nanos();
+            health.tick(Instant(settle_ns));
+        }
+    }
     FleetReport {
         switches: cfg.switches,
         workers: cfg.workers,
@@ -643,9 +685,63 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
     }
 }
 
+/// Rack-degradation threshold (‰ of offered AFRs dropped) for
+/// `OW-HEALTH-302`: comfortably above the 30% heavy-loss steady state,
+/// comfortably below a bursting rack's drop rate.
+pub const RACK_DEGRADED_PERMILLE: u64 = 500;
+
+/// The fleet rule catalog (`OW-HEALTH-3xx`) for runs driven through
+/// [`run`] with observability attached. Evaluated at the post-drain
+/// settle tick, so every signal reads quiesced, deterministic totals.
+///
+/// | code | rule | signal |
+/// |------|------|--------|
+/// | `OW-HEALTH-301` | `fleet_switch_crash` | any crash departure (graceful leaves stay silent) |
+/// | `OW-HEALTH-302` | `rack_degraded` | per-rack dropped/offered ratio above [`RACK_DEGRADED_PERMILLE`] |
+/// | `OW-HEALTH-303` | `fleet_window_wedged` | in-flight windows left after the fleet drained (**critical**) |
+pub fn fleet_health_rules() -> RuleSet {
+    RuleSet::new(vec![
+        Rule::new(
+            "OW-HEALTH-301",
+            "fleet_switch_crash",
+            MetricSelector::new("ow_fleet_switch_crashes_total", &[]),
+            Signal::Value,
+            Cmp::Above,
+            0,
+            Severity::Warning,
+        )
+        .entity("fleet"),
+        Rule::new(
+            "OW-HEALTH-302",
+            "rack_degraded",
+            MetricSelector::new("ow_fleet_rack_dropped_total", &[]),
+            Signal::RatioPermille {
+                denominator: MetricSelector::new("ow_fleet_rack_offered_total", &[]),
+            },
+            Cmp::Above,
+            RACK_DEGRADED_PERMILLE,
+            Severity::Warning,
+        )
+        .group_by("rack")
+        .entity("rack"),
+        Rule::new(
+            "OW-HEALTH-303",
+            "fleet_window_wedged",
+            MetricSelector::new("ow_fleet_windows_inflight", &[]),
+            Signal::Value,
+            Cmp::Above,
+            0,
+            Severity::Critical,
+        )
+        .entity("fleet"),
+    ])
+    .expect("fleet rule catalog validates")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ow_obs::FlightRecorderConfig;
 
     #[test]
     fn rendezvous_assignment_is_stable_and_minimally_disruptive() {
@@ -771,5 +867,72 @@ mod tests {
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.fault_stats, b.fault_stats);
         assert_eq!(a.merged, b.merged);
+    }
+
+    #[test]
+    fn lossless_fleet_with_health_engine_raises_no_alerts() {
+        let obs = Obs::new();
+        let engine = obs.install_health(fleet_health_rules(), FlightRecorderConfig::default());
+        let cfg = FleetConfig {
+            switches: 8,
+            workers: 2,
+            local_windows: 2,
+            afr_loss: 0.0,
+            ..FleetConfig::default()
+        };
+        let report = run(&cfg, Some(&obs));
+        assert!(report.metrics.lossless());
+        // The false-positive gate: a clean fleet fires nothing.
+        assert!(engine.timeline().is_empty(), "{:?}", engine.timeline());
+        assert!(!engine.frozen());
+        let snap = obs.snapshot();
+        assert_eq!(snap.value("ow_health_fleet_score", &[]), 1000);
+        assert_eq!(
+            snap.value("ow_health_ticks_total", &[]),
+            1,
+            "settle tick ran"
+        );
+    }
+
+    #[test]
+    fn crash_and_rack_burst_fire_exactly_their_fleet_rules() {
+        let obs = Obs::new();
+        let engine = obs.install_health(fleet_health_rules(), FlightRecorderConfig::default());
+        let cfg = FleetConfig {
+            switches: 16,
+            workers: 2,
+            local_windows: 3,
+            afr_loss: 0.0,
+            // Rack 1 (switches 8..16) degrades to 90% loss for the
+            // whole run; rack 0 stays clean.
+            bursts: vec![RackBurst {
+                rack: 1,
+                from: Duration::ZERO,
+                until: Duration::from_millis(100),
+                loss: 0.9,
+            }],
+            churn: vec![ChurnEvent {
+                at: Duration::from_micros(1_700),
+                switch: 2,
+                kind: ChurnKind::Crash,
+            }],
+            ..FleetConfig::default()
+        };
+        let report = run(&cfg, Some(&obs));
+        assert!(report.all_windows_accounted());
+        let timeline = engine.timeline();
+        let fired: Vec<(&str, &str)> = timeline
+            .iter()
+            .map(|a| (a.code.as_str(), a.entity.as_str()))
+            .collect();
+        assert!(fired.contains(&("OW-HEALTH-301", "fleet")), "{fired:?}");
+        assert!(fired.contains(&("OW-HEALTH-302", "rack:1")), "{fired:?}");
+        // Precision: the healthy rack does not fire, nothing wedged.
+        assert!(!fired.contains(&("OW-HEALTH-302", "rack:0")), "{fired:?}");
+        assert!(
+            !fired.iter().any(|(c, _)| *c == "OW-HEALTH-303"),
+            "{fired:?}"
+        );
+        assert!(!engine.frozen(), "no critical rule fired");
     }
 }

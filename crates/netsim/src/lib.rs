@@ -34,8 +34,8 @@ pub mod topology;
 
 pub use fault::{ClassProfile, ClassStats, FaultConfig, FaultStats, LossyChannel, PacketClass};
 pub use fleet::{
-    global_subwindow, subwindow_switch, worker_of, ChurnEvent, ChurnKind, FleetConfig, FleetReport,
-    RackBurst,
+    fleet_health_rules, global_subwindow, subwindow_switch, worker_of, ChurnEvent, ChurnKind,
+    FleetConfig, FleetReport, RackBurst,
 };
 pub use lossradar::{LossRadarMeter, WindowAssign};
 pub use sim::{Link, NetSim, NodeConfig};

@@ -17,11 +17,22 @@
 //! chains — exit nonzero on any violation, so CI can gate on it), then
 //! rendered as one indented per-window span timeline each, with the
 //! critical path and SLO verdict on top.
+//!
+//! A document carrying a `freeze_reason` field is a flight-recorder
+//! post-mortem (`results/flightrec_*.json`): schema-checked by
+//! `validate_flightrec_json`, then rendered as the freeze header, the
+//! alert timeline, and the black-box entry tail.
+//!
+//! Metrics snapshots are validated **strictly**: an unrecognized
+//! top-level section, an unknown metric kind, or a histogram without
+//! its bucket detail is an error (exit nonzero), not something to
+//! skip silently — a malformed artifact in CI should fail the gate,
+//! not render a truncated report that passes.
 
 use std::process::ExitCode;
 
 use ow_obs::json::{parse, ValueExt};
-use ow_obs::validate_trace_json;
+use ow_obs::{validate_flightrec_json, validate_trace_json};
 use serde::Value;
 
 fn main() -> ExitCode {
@@ -62,6 +73,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Flight dumps carry a `traces` field too, so the freeze_reason
+    // check must dispatch first.
+    if doc.field("freeze_reason").is_some() {
+        if let Err(e) = validate_flightrec_json(&doc) {
+            eprintln!("ow-obs-report: invalid flight-recorder dump: {e}");
+            return ExitCode::FAILURE;
+        }
+        return match render_flightrec(&doc, events_shown) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ow-obs-report: malformed flight-recorder dump: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if doc.field("traces").is_some() {
         if let Err(e) = validate_trace_json(&doc) {
             eprintln!("ow-obs-report: invalid trace report: {e}");
@@ -212,7 +241,81 @@ fn render_id(m: &Value) -> Result<String, String> {
     Ok(format!("{name}{{{}}}", parts.join(",")))
 }
 
+/// Strict structural validation of a metrics snapshot: every top-level
+/// section must be one the renderer understands, every metric must
+/// carry a known kind, and histogram metrics must carry their bucket
+/// detail. Unrecognized or malformed sections are an **error** — a
+/// corrupted artifact must fail loudly, not render partially.
+fn validate_snapshot(doc: &Value) -> Result<(), String> {
+    const KNOWN_SECTIONS: [&str; 5] = [
+        "run",
+        "registry",
+        "events_recorded",
+        "events_dropped",
+        "events",
+    ];
+    let Value::Object(sections) = doc else {
+        return Err("snapshot is not a JSON object".into());
+    };
+    for (key, _) in sections {
+        if !KNOWN_SECTIONS.contains(&key.as_str()) {
+            return Err(format!(
+                "unrecognized top-level section '{key}' (known: {})",
+                KNOWN_SECTIONS.join(", ")
+            ));
+        }
+    }
+    let metrics = doc
+        .field("registry")
+        .and_then(|r| r.field("metrics"))
+        .and_then(Value::items)
+        .ok_or("missing registry.metrics")?;
+    for m in metrics {
+        let name = m
+            .field("name")
+            .and_then(Value::as_str)
+            .ok_or("metric without name")?;
+        let kind = m
+            .field("kind")
+            .and_then(Value::as_str)
+            .ok_or(format!("metric '{name}' without kind"))?;
+        if !matches!(kind, "counter" | "gauge" | "histogram") {
+            return Err(format!("metric '{name}' has unrecognized kind '{kind}'"));
+        }
+        let detail = m.field("histogram").filter(|h| is_set(h));
+        if kind == "histogram" && detail.is_none() {
+            return Err(format!("histogram '{name}' without bucket detail"));
+        }
+        if kind != "histogram" && detail.is_some() {
+            return Err(format!("{kind} '{name}' carries histogram detail"));
+        }
+        m.field("value")
+            .and_then(Value::as_u64)
+            .ok_or(format!("metric '{name}' without numeric value"))?;
+    }
+    for (i, e) in doc
+        .field("events")
+        .and_then(Value::items)
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+    {
+        let level = e
+            .field("level")
+            .and_then(Value::as_str)
+            .ok_or(format!("journal event {i} without level"))?;
+        if !matches!(level, "Info" | "Warn") {
+            return Err(format!("journal event {i} has unknown level '{level}'"));
+        }
+        e.field("kind")
+            .and_then(Value::as_str)
+            .ok_or(format!("journal event {i} without kind"))?;
+    }
+    Ok(())
+}
+
 fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, String> {
+    validate_snapshot(doc)?;
     let metrics = doc
         .field("registry")
         .and_then(|r| r.field("metrics"))
@@ -256,6 +359,7 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
         out.push('\n');
     }
 
+    out.push_str(&render_health(metrics));
     out.push_str(&render_fleet(metrics));
 
     let histos: Vec<&Value> = metrics
@@ -320,6 +424,137 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
             };
             let message = e.field("message").and_then(Value::as_str).unwrap_or("");
             out.push_str(&format!("{seq:>6}  {level}  {kind}{ctx}: {message}\n"));
+        }
+    }
+    Ok(out)
+}
+
+/// Summarize the health-engine metrics (`ow_health_fleet_score`,
+/// `ow_health_entity_score{entity=…}`, `ow_health_alerts_total`) when
+/// a snapshot carries them; empty when no engine ran.
+fn render_health(metrics: &[Value]) -> String {
+    let named = |want: &str| -> Vec<&Value> {
+        metrics
+            .iter()
+            .filter(|m| m.field("name").and_then(Value::as_str) == Some(want))
+            .collect()
+    };
+    let fleet = named("ow_health_fleet_score");
+    if fleet.is_empty() {
+        return String::new();
+    }
+    let value_of = |m: &Value| m.field("value").and_then(Value::as_u64).unwrap_or(0);
+    let label_of = |m: &Value, key: &str| -> String {
+        m.field("labels")
+            .and_then(Value::items)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::items)
+            .filter(|kv| kv.len() == 2 && kv[0].as_str() == Some(key))
+            .filter_map(|kv| kv[1].as_str())
+            .next()
+            .unwrap_or("?")
+            .to_string()
+    };
+    let mut out = String::from("== health ==\n");
+    let score = value_of(fleet[0]);
+    let ticks = named("ow_health_ticks_total")
+        .first()
+        .map_or(0, |m| value_of(m));
+    out.push_str(&format!(
+        "fleet score: {score}/1000 ({}) over {ticks} tick(s)\n",
+        if score == 1000 { "healthy" } else { "DEGRADED" }
+    ));
+    let alerts = named("ow_health_alerts_total");
+    let total: u64 = alerts.iter().map(|m| value_of(m)).sum();
+    if total > 0 {
+        let per: Vec<String> = alerts
+            .iter()
+            .filter(|m| value_of(m) > 0)
+            .map(|m| format!("{} {}", value_of(m), label_of(m, "severity")))
+            .collect();
+        out.push_str(&format!("alerts fired: {total} ({})\n", per.join(", ")));
+    } else {
+        out.push_str("alerts fired: none\n");
+    }
+    let mut entities: Vec<(String, u64)> = named("ow_health_entity_score")
+        .iter()
+        .map(|m| (label_of(m, "entity"), value_of(m)))
+        .collect();
+    entities.sort();
+    for (entity, score) in entities.iter().filter(|(_, s)| *s < 1000) {
+        out.push_str(&format!("  {entity}: {score}/1000\n"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render a validated flight-recorder dump: the freeze header, the
+/// alert timeline, and the tail of the black-box entry ring.
+fn render_flightrec(doc: &Value, entries_shown: usize) -> Result<String, String> {
+    let run = doc.field("run").and_then(Value::as_str).unwrap_or("?");
+    let reason = doc
+        .field("freeze_reason")
+        .and_then(Value::as_str)
+        .ok_or("missing freeze_reason")?;
+    let at = doc
+        .field("frozen_at_ns")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let dropped = doc
+        .field("entries_dropped")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let entries = doc
+        .field("entries")
+        .and_then(Value::items)
+        .ok_or("missing entries")?;
+    let traces = doc.field("traces").and_then(Value::items).unwrap_or(&[]);
+    let timeline = doc.field("timeline").and_then(Value::items).unwrap_or(&[]);
+    let registry = doc
+        .field("registry")
+        .and_then(|r| r.field("metrics"))
+        .and_then(Value::items)
+        .unwrap_or(&[]);
+
+    let mut out = String::new();
+    out.push_str(&format!("run: {run} — FLIGHT RECORDER POST-MORTEM\n"));
+    out.push_str(&format!("frozen at: {at}ns\nreason: {reason}\n"));
+    out.push_str(&format!(
+        "captured: {} entries ({dropped} evicted), {} metrics, {} trace(s)\n\n",
+        entries.len(),
+        registry.len(),
+        traces.len()
+    ));
+    if !timeline.is_empty() {
+        out.push_str("== alert timeline ==\n");
+        for a in timeline {
+            let code = a.field("code").and_then(Value::as_str).unwrap_or("?");
+            let rule = a.field("rule").and_then(Value::as_str).unwrap_or("?");
+            let entity = a.field("entity").and_then(Value::as_str).unwrap_or("?");
+            let state = a.field("state").and_then(Value::as_str).unwrap_or("?");
+            let sev = a.field("severity").and_then(Value::as_str).unwrap_or("?");
+            let at_ns = a.field("at_ns").and_then(Value::as_u64).unwrap_or(0);
+            let value = a.field("value").and_then(Value::as_u64).unwrap_or(0);
+            let threshold = a.field("threshold").and_then(Value::as_u64).unwrap_or(0);
+            out.push_str(&format!(
+                "{at_ns:>12}ns  {code}  {rule} {state} for {entity} ({sev}): value {value} vs threshold {threshold}\n"
+            ));
+        }
+        out.push('\n');
+    }
+    if !entries.is_empty() && entries_shown > 0 {
+        let tail = &entries[entries.len().saturating_sub(entries_shown)..];
+        out.push_str(&format!(
+            "== black box (last {} of {}) ==\n",
+            tail.len(),
+            entries.len()
+        ));
+        for e in tail {
+            let at_ns = e.field("at_ns").and_then(Value::as_u64).unwrap_or(0);
+            let kind = e.field("kind").and_then(Value::as_str).unwrap_or("?");
+            let detail = e.field("detail").and_then(Value::as_str).unwrap_or("");
+            out.push_str(&format!("{at_ns:>12}ns  {kind:<6}  {detail}\n"));
         }
     }
     Ok(out)
@@ -447,5 +682,109 @@ mod tests {
         let doc = parse(&obs.report("plain").to_json()).expect("report parses");
         let rendered = render(&doc, 0, false).expect("snapshot renders");
         assert!(!rendered.contains("== fleet =="));
+        assert!(!rendered.contains("== health =="));
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_not_skipped() {
+        let obs = ow_obs::Obs::new();
+        obs.counter("ow_test_events_total", &[]).inc();
+        obs.event(ow_obs::Event::new("progress", "ok"));
+        let good = obs.report("unit").to_json();
+        render(&parse(&good).unwrap(), 5, false).expect("pristine report renders");
+
+        // An unknown metric kind (a `summary` from some other system)
+        // must fail, not silently drop the series.
+        let bad_kind = good.replace("\"counter\"", "\"summary\"");
+        let err = render(&parse(&bad_kind).unwrap(), 5, false).unwrap_err();
+        assert!(err.contains("unrecognized kind 'summary'"), "{err}");
+
+        // An unrecognized top-level section means the artifact is not
+        // the schema this renderer understands.
+        let bad_section = good.replacen("\"run\"", "\"generator\"", 1);
+        let err = render(&parse(&bad_section).unwrap(), 5, false).unwrap_err();
+        assert!(err.contains("unrecognized top-level section"), "{err}");
+
+        // A journal event with an unknown level is malformed.
+        let bad_level = good.replace("\"Info\"", "\"Trace\"");
+        let err = render(&parse(&bad_level).unwrap(), 5, false).unwrap_err();
+        assert!(err.contains("unknown level 'Trace'"), "{err}");
+
+        // A histogram stripped of its bucket detail is malformed even
+        // when no histogram table would be printed.
+        let obs2 = ow_obs::Obs::new();
+        obs2.histogram("ow_test_latency", &[])
+            .record(ow_common::time::Duration::from_micros(3));
+        let hist = obs2.report("unit").to_json();
+        let stripped = hist.replace("\"kind\": \"histogram\"", "\"kind\": \"gauge\"");
+        let err = render(&parse(&stripped).unwrap(), 5, false).unwrap_err();
+        assert!(err.contains("carries histogram detail"), "{err}");
+    }
+
+    #[test]
+    fn health_metrics_render_a_health_section() {
+        use ow_obs::{Cmp, FlightRecorderConfig, MetricSelector, Rule, RuleSet, Severity, Signal};
+        let obs = ow_obs::Obs::new();
+        let engine = obs.install_health(
+            RuleSet::new(vec![Rule::new(
+                "OW-HEALTH-998",
+                "unit_rule",
+                MetricSelector::new("ow_test_depth", &[]),
+                Signal::Value,
+                Cmp::Above,
+                10,
+                Severity::Warning,
+            )
+            .entity("unit")])
+            .unwrap(),
+            FlightRecorderConfig::default(),
+        );
+        obs.gauge("ow_test_depth", &[]).set(50);
+        engine.tick(ow_common::time::Instant(1_000));
+        let doc = parse(&obs.report("unit").to_json()).expect("report parses");
+        let rendered = render(&doc, 0, false).expect("snapshot renders");
+        assert!(rendered.contains("== health =="), "{rendered}");
+        assert!(
+            rendered.contains("fleet score: 750/1000 (DEGRADED)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("alerts fired: 1 (1 warning)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("unit: 750/1000"), "{rendered}");
+    }
+
+    #[test]
+    fn flight_recorder_dump_renders_end_to_end() {
+        use ow_obs::{Cmp, FlightRecorderConfig, MetricSelector, Rule, RuleSet, Severity, Signal};
+        let obs = ow_obs::Obs::new();
+        let engine = obs.install_health(
+            RuleSet::new(vec![Rule::new(
+                "OW-HEALTH-999",
+                "unit_critical",
+                MetricSelector::new("ow_test_wedged", &[]),
+                Signal::Value,
+                Cmp::Above,
+                0,
+                Severity::Critical,
+            )
+            .entity("unit")])
+            .unwrap(),
+            FlightRecorderConfig::default(),
+        );
+        obs.gauge("ow_test_wedged", &[]).set(2);
+        engine.tick(ow_common::time::Instant(5_000));
+        let dump = engine.flight_dump("unit").expect("critical froze the box");
+        let doc = parse(&dump.to_json()).expect("dump parses");
+        ow_obs::validate_flightrec_json(&doc).expect("dump validates");
+        let rendered = render_flightrec(&doc, 10).expect("dump renders");
+        assert!(
+            rendered.contains("FLIGHT RECORDER POST-MORTEM"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("OW-HEALTH-999"), "{rendered}");
+        assert!(rendered.contains("== alert timeline =="), "{rendered}");
+        assert!(rendered.contains("== black box"), "{rendered}");
     }
 }

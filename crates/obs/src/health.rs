@@ -1,0 +1,1285 @@
+//! The streaming fleet health engine.
+//!
+//! Raw signals — per-shard queue gauges, recovery-latency histograms,
+//! retransmit counters — say nothing by themselves; this module is the
+//! interpretation layer. A declarative [`RuleSet`] of [`Rule`]s (stable
+//! `OW-HEALTH-*` codes, threshold + duration + [`Severity`]) is
+//! evaluated on explicit virtual-clock **ticks** against a
+//! [`HealthSample`] (registry snapshot + gauge high-watermarks), with
+//! derived [`Signal`] evaluators: deltas, rates, EWMA smoothing,
+//! saturation and numerator/denominator ratios, and SLO burn rate read
+//! straight from the log2 latency histograms. All arithmetic is
+//! integer/permille, so two same-seed runs produce byte-identical
+//! alert timelines.
+//!
+//! Firing rules drive three outputs:
+//!
+//! * an append-only [`AlertEvent`] timeline plus `health_alert` /
+//!   `health_clear` journal events and `ow_health_alerts_total`
+//!   counters;
+//! * per-entity scores (1000 = healthy, severity-weighted penalties
+//!   for active alerts) rolled up to the `ow_health_fleet_score`
+//!   gauge — the one number an operator watches;
+//! * a [`crate::flightrec::FlightRecorder`] black box that freezes a
+//!   deterministic post-mortem when a rule fires at
+//!   [`Severity::Critical`] or a `WindowFsm` invariant is rejected
+//!   (code [`FSM_REJECT_CODE`]).
+//!
+//! Evaluation is **order-independent**: series matched by a selector
+//! are aggregated per entity into sorted maps before any comparison,
+//! so shuffling registry iteration cannot change an alert decision.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use ow_common::time::Instant;
+
+use crate::flightrec::{FlightDump, FlightEntry, FlightRecorder, FlightRecorderConfig, TraceBrief};
+use crate::journal::{Event, EventJournal};
+use crate::registry::{MetricSnapshot, MetricsRegistry, PeakSample};
+use crate::span::{TraceReport, Tracer};
+use crate::{Counter, Gauge};
+
+/// The reserved code for `WindowFsm` invariant rejections — not part of
+/// any installed [`RuleSet`], emitted directly by
+/// [`HealthEngine::fsm_invariant_rejected`].
+pub const FSM_REJECT_CODE: &str = "OW-HEALTH-001";
+
+/// Check an alert code against the stable scheme `OW-HEALTH-<3 digits>`.
+pub fn valid_code(code: &str) -> bool {
+    code.len() == 13
+        && code.starts_with("OW-HEALTH-")
+        && code[10..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// How bad a firing rule is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Notable but expected under some workloads (evictions).
+    Info,
+    /// Degraded; an operator should look.
+    Warning,
+    /// The run is compromised — freezes the flight recorder.
+    Critical,
+}
+
+impl Severity {
+    /// Health-score penalty while a rule of this severity is active.
+    pub fn penalty(self) -> u64 {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 250,
+            Severity::Critical => 600,
+        }
+    }
+
+    /// Stable lowercase name (label value / JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// Comparison direction for a rule threshold (strict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Breach when the signal is strictly above the threshold.
+    Above,
+    /// Breach when the signal is strictly below the threshold.
+    Below,
+}
+
+/// Selects metric series by name plus a label **subset**: a series
+/// matches when its name equals `name` and it carries every `(k, v)`
+/// pair in `labels` (it may carry more — that is what `group_by`
+/// splits on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSelector {
+    /// Exact metric name (`ow_<crate>_<name>`).
+    pub name: String,
+    /// Required label pairs (subset match).
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricSelector {
+    /// Selector for `name` requiring the given label pairs.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricSelector {
+        MetricSelector {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn matches(&self, name: &str, labels: &[(String, String)]) -> bool {
+        name == self.name
+            && self
+                .labels
+                .iter()
+                .all(|want| labels.iter().any(|have| have == want))
+    }
+}
+
+/// A derived signal computed from the selected series each tick. All
+/// math is integer (permille where a fraction is meant) so evaluation
+/// is deterministic across platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signal {
+    /// The summed instantaneous value of the selected series.
+    Value,
+    /// The summed gauge high-watermark since the previous tick
+    /// (see [`crate::Gauge::take_peak`]).
+    Peak,
+    /// Increase of the summed value since the previous tick (0 on the
+    /// first tick, and on counter resets).
+    Delta,
+    /// [`Signal::Delta`] normalized to events per virtual second
+    /// (0 when no virtual time elapsed).
+    RatePerSec,
+    /// Exponentially weighted moving average of the summed value:
+    /// `ewma' = (alpha·v + (1000−alpha)·ewma) / 1000`, seeded with the
+    /// first observation.
+    EwmaPermille {
+        /// Smoothing weight of the new observation, in permille
+        /// (1..=1000; 1000 disables smoothing).
+        alpha_permille: u64,
+    },
+    /// `numerator · 1000 / denominator` where the numerator is the
+    /// rule's selector and the denominator its own selector, matched
+    /// per entity (0 when the denominator is 0).
+    RatioPermille {
+        /// The denominator series.
+        denominator: MetricSelector,
+    },
+    /// `peak · 1000 / capacity` — how close a gauge's high-watermark
+    /// came to a fixed capacity.
+    SaturationPermille {
+        /// The capacity the gauge saturates at.
+        capacity: u64,
+    },
+    /// SLO burn rate from a log2 latency histogram: the permille of
+    /// recorded values whose bucket lies **entirely** above
+    /// `deadline_ns` (a conservative undercount), scaled against the
+    /// error budget: `burn = violated‰ · 1000 / budget‰`. A burn above
+    /// 1000 means the budget is being spent faster than allowed.
+    BurnRatePermille {
+        /// The SLO deadline in virtual nanoseconds.
+        deadline_ns: u64,
+        /// Allowed violation fraction, in permille (the error budget).
+        budget_permille: u64,
+    },
+}
+
+/// One declarative health rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable machine-readable code (`OW-HEALTH-NNN`).
+    pub code: String,
+    /// Short human-readable rule name (`retransmit_storm`).
+    pub name: String,
+    /// The series the rule watches.
+    pub selector: MetricSelector,
+    /// When set, split matched series into one entity per distinct
+    /// value of this label key (series lacking the key are ignored);
+    /// entity keys become `"<entity>:<label value>"`.
+    pub group_by: Option<String>,
+    /// The entity class the rule judges (`"switch"`, `"shard"`, …).
+    pub entity: String,
+    /// The derived signal to compute.
+    pub signal: Signal,
+    /// Comparison direction against `threshold`.
+    pub cmp: Cmp,
+    /// The threshold (same unit as the signal).
+    pub threshold: u64,
+    /// Consecutive breaching ticks required before firing (≥ 1) — the
+    /// "for: duration" debounce.
+    pub for_ticks: u32,
+    /// Severity when firing.
+    pub severity: Severity,
+}
+
+impl Rule {
+    /// A rule with defaults: entity `"fleet"`, no grouping, fires after
+    /// one breaching tick. Refine with the builder methods.
+    pub fn new(
+        code: &str,
+        name: &str,
+        selector: MetricSelector,
+        signal: Signal,
+        cmp: Cmp,
+        threshold: u64,
+        severity: Severity,
+    ) -> Rule {
+        Rule {
+            code: code.to_string(),
+            name: name.to_string(),
+            selector,
+            group_by: None,
+            entity: "fleet".to_string(),
+            signal,
+            cmp,
+            threshold,
+            for_ticks: 1,
+            severity,
+        }
+    }
+
+    /// Set the entity class.
+    pub fn entity(mut self, entity: &str) -> Rule {
+        self.entity = entity.to_string();
+        self
+    }
+
+    /// Split matched series into per-entity instances by label key.
+    pub fn group_by(mut self, label: &str) -> Rule {
+        self.group_by = Some(label.to_string());
+        self
+    }
+
+    /// Require `n` consecutive breaching ticks before firing.
+    pub fn for_ticks(mut self, n: u32) -> Rule {
+        self.for_ticks = n.max(1);
+        self
+    }
+}
+
+/// A validated, immutable collection of rules.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Validate and freeze a rule list: every code must match
+    /// `OW-HEALTH-NNN`, be unique, and not collide with the reserved
+    /// [`FSM_REJECT_CODE`]; EWMA weights must lie in 1..=1000.
+    pub fn new(rules: Vec<Rule>) -> Result<RuleSet, String> {
+        let mut seen: Vec<&str> = Vec::new();
+        for r in &rules {
+            if !valid_code(&r.code) {
+                return Err(format!("rule '{}' has malformed code '{}'", r.name, r.code));
+            }
+            if r.code == FSM_REJECT_CODE {
+                return Err(format!(
+                    "code {FSM_REJECT_CODE} is reserved for FSM invariant rejections"
+                ));
+            }
+            if seen.contains(&r.code.as_str()) {
+                return Err(format!("duplicate rule code '{}'", r.code));
+            }
+            seen.push(&r.code);
+            if let Signal::EwmaPermille { alpha_permille } = r.signal {
+                if alpha_permille == 0 || alpha_permille > 1000 {
+                    return Err(format!(
+                        "rule '{}' EWMA alpha {alpha_permille}‰ outside 1..=1000",
+                        r.code
+                    ));
+                }
+            }
+            if let Signal::BurnRatePermille {
+                budget_permille, ..
+            } = r.signal
+            {
+                if budget_permille == 0 || budget_permille > 1000 {
+                    return Err(format!(
+                        "rule '{}' burn budget {budget_permille}‰ outside 1..=1000",
+                        r.code
+                    ));
+                }
+            }
+        }
+        Ok(RuleSet { rules })
+    }
+
+    /// Concatenate rule sets (controller + switch + fleet catalogs),
+    /// revalidating cross-set code uniqueness.
+    pub fn merged(sets: Vec<RuleSet>) -> Result<RuleSet, String> {
+        RuleSet::new(sets.into_iter().flat_map(|s| s.rules).collect())
+    }
+
+    /// The same set minus the named codes. Used to drop rules whose
+    /// inputs are scheduling-dependent (e.g. queue high-watermarks
+    /// under threaded workers) before a byte-identity gate on the
+    /// flight-recorder dump.
+    pub fn without(mut self, codes: &[&str]) -> RuleSet {
+        self.rules.retain(|r| !codes.contains(&r.code.as_str()));
+        self
+    }
+
+    /// The rules, in installation order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+}
+
+/// What the engine evaluates each tick: a point-in-time metric sample
+/// plus the read-and-reset gauge high-watermarks. Normally captured
+/// from the registry by [`HealthEngine::tick`]; tests build synthetic
+/// samples directly.
+#[derive(Debug, Clone)]
+pub struct HealthSample {
+    /// Virtual-clock instant of the sample.
+    pub at_ns: u64,
+    /// Every metric (any order — evaluation is order-independent).
+    pub metrics: Vec<MetricSnapshot>,
+    /// Gauge high-watermarks since the previous sample.
+    pub peaks: Vec<PeakSample>,
+}
+
+impl HealthSample {
+    /// Capture the live registry at `now`.
+    pub fn capture(registry: &MetricsRegistry, now: Instant) -> HealthSample {
+        HealthSample {
+            at_ns: now.as_nanos(),
+            metrics: registry.snapshot().metrics,
+            peaks: registry.take_gauge_peaks(),
+        }
+    }
+}
+
+/// One timeline record: a rule firing or clearing for an entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AlertEvent {
+    /// Engine tick index (0-based).
+    pub tick: u64,
+    /// Virtual-clock instant of the evaluating sample.
+    pub at_ns: u64,
+    /// The stable rule code.
+    pub code: String,
+    /// The rule name.
+    pub rule: String,
+    /// The entity key (`"shard:3"`, `"controller"`, …).
+    pub entity: String,
+    /// `"info"` / `"warning"` / `"critical"`.
+    pub severity: String,
+    /// `"fired"` or `"cleared"`.
+    pub state: String,
+    /// The signal value that triggered the transition.
+    pub value: u64,
+    /// The rule threshold.
+    pub threshold: u64,
+}
+
+/// Per-(rule, entity) evaluation state.
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    breached_ticks: u32,
+    active: bool,
+    severity_penalty: u64,
+    ewma: Option<u64>,
+    prev: Option<u64>,
+}
+
+/// Aggregated inputs of one entity under one rule.
+#[derive(Debug, Clone, Default)]
+struct GroupAgg {
+    value: u64,
+    peak: u64,
+    denom: u64,
+    hist_count: u64,
+    hist_buckets: BTreeMap<u64, u64>,
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    ticks: u64,
+    last_at_ns: Option<u64>,
+    last_journal_seq: u64,
+    states: BTreeMap<(usize, String), RuleState>,
+    timeline: Vec<AlertEvent>,
+    recorder: FlightRecorder,
+}
+
+/// The deterministic streaming health engine. Install on an
+/// [`crate::Obs`] via [`crate::Obs::install_health`]; drive with
+/// [`HealthEngine::tick`] at virtual-clock checkpoints.
+pub struct HealthEngine {
+    rules: RuleSet,
+    registry: Arc<MetricsRegistry>,
+    journal: Arc<EventJournal>,
+    tracer: Arc<Tracer>,
+    alerts_info: Counter,
+    alerts_warning: Counter,
+    alerts_critical: Counter,
+    ticks_total: Counter,
+    fleet_score: Gauge,
+    inner: Mutex<EngineInner>,
+}
+
+impl fmt::Debug for HealthEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HealthEngine")
+            .field("rules", &self.rules.rules().len())
+            .finish()
+    }
+}
+
+impl HealthEngine {
+    /// Build an engine over the given observability parts, with the
+    /// engine's own metrics pre-registered: `ow_health_alerts_total`
+    /// per severity, `ow_health_ticks_total`, and the
+    /// `ow_health_fleet_score` gauge (initialized to a healthy 1000).
+    pub fn new(
+        rules: RuleSet,
+        registry: Arc<MetricsRegistry>,
+        journal: Arc<EventJournal>,
+        tracer: Arc<Tracer>,
+        recorder_cfg: FlightRecorderConfig,
+    ) -> HealthEngine {
+        let alerts_info = registry.counter("ow_health_alerts_total", &[("severity", "info")]);
+        let alerts_warning = registry.counter("ow_health_alerts_total", &[("severity", "warning")]);
+        let alerts_critical =
+            registry.counter("ow_health_alerts_total", &[("severity", "critical")]);
+        let ticks_total = registry.counter("ow_health_ticks_total", &[]);
+        let fleet_score = registry.gauge("ow_health_fleet_score", &[]);
+        fleet_score.set(1000);
+        let _ = fleet_score.take_peak();
+        HealthEngine {
+            rules,
+            registry,
+            journal,
+            tracer,
+            alerts_info,
+            alerts_warning,
+            alerts_critical,
+            ticks_total,
+            fleet_score,
+            inner: Mutex::new(EngineInner {
+                ticks: 0,
+                last_at_ns: None,
+                last_journal_seq: 0,
+                states: BTreeMap::new(),
+                timeline: Vec::new(),
+                recorder: FlightRecorder::new(recorder_cfg),
+            }),
+        }
+    }
+
+    /// The installed rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Sample the live registry at `now` and evaluate one tick.
+    /// Returns the alert transitions (fired/cleared) of this tick.
+    pub fn tick(&self, now: Instant) -> Vec<AlertEvent> {
+        let sample = HealthSample::capture(&self.registry, now);
+        self.tick_with_sample(sample)
+    }
+
+    /// Evaluate one tick against an explicit sample (the testable
+    /// core — `tick` is capture + this).
+    pub fn tick_with_sample(&self, sample: HealthSample) -> Vec<AlertEvent> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let tick = inner.ticks;
+        inner.ticks += 1;
+        self.ticks_total.inc();
+        let elapsed_ns = sample
+            .at_ns
+            .saturating_sub(inner.last_at_ns.unwrap_or(sample.at_ns));
+        inner.last_at_ns = Some(sample.at_ns);
+
+        let mut transitions: Vec<AlertEvent> = Vec::new();
+        let mut freeze: Option<AlertEvent> = None;
+        let mut signal_lines: Vec<FlightEntry> = Vec::new();
+
+        for (ri, rule) in self.rules.rules().iter().enumerate() {
+            for (entity, agg) in aggregate(rule, &sample) {
+                let state = inner.states.entry((ri, entity.clone())).or_default();
+                let value = eval_signal(&rule.signal, &agg, state, elapsed_ns);
+                signal_lines.push(FlightEntry {
+                    at_ns: sample.at_ns,
+                    kind: "signal".into(),
+                    detail: format!(
+                        "{} {} value={value} threshold={}",
+                        rule.code, entity, rule.threshold
+                    ),
+                });
+                let breach = match rule.cmp {
+                    Cmp::Above => value > rule.threshold,
+                    Cmp::Below => value < rule.threshold,
+                };
+                if breach {
+                    state.breached_ticks = state.breached_ticks.saturating_add(1);
+                } else {
+                    state.breached_ticks = 0;
+                }
+                if breach && !state.active && state.breached_ticks >= rule.for_ticks {
+                    state.active = true;
+                    state.severity_penalty = rule.severity.penalty();
+                    let alert = AlertEvent {
+                        tick,
+                        at_ns: sample.at_ns,
+                        code: rule.code.clone(),
+                        rule: rule.name.clone(),
+                        entity: entity.clone(),
+                        severity: rule.severity.name().to_string(),
+                        state: "fired".into(),
+                        value,
+                        threshold: rule.threshold,
+                    };
+                    match rule.severity {
+                        Severity::Info => self.alerts_info.inc(),
+                        Severity::Warning => self.alerts_warning.inc(),
+                        Severity::Critical => self.alerts_critical.inc(),
+                    }
+                    self.journal.record(
+                        Event::new(
+                            "health_alert",
+                            format!(
+                                "{} {} fired for {}: value {} vs threshold {} ({})",
+                                rule.code,
+                                rule.name,
+                                entity,
+                                value,
+                                rule.threshold,
+                                rule.severity.name()
+                            ),
+                        )
+                        .warn()
+                        .at(Instant(sample.at_ns)),
+                    );
+                    if rule.severity == Severity::Critical && freeze.is_none() {
+                        freeze = Some(alert.clone());
+                    }
+                    transitions.push(alert);
+                } else if !breach && state.active {
+                    state.active = false;
+                    state.severity_penalty = 0;
+                    let alert = AlertEvent {
+                        tick,
+                        at_ns: sample.at_ns,
+                        code: rule.code.clone(),
+                        rule: rule.name.clone(),
+                        entity: entity.clone(),
+                        severity: rule.severity.name().to_string(),
+                        state: "cleared".into(),
+                        value,
+                        threshold: rule.threshold,
+                    };
+                    self.journal.record(
+                        Event::new(
+                            "health_clear",
+                            format!(
+                                "{} {} cleared for {}: value {} vs threshold {}",
+                                rule.code, rule.name, entity, value, rule.threshold
+                            ),
+                        )
+                        .at(Instant(sample.at_ns)),
+                    );
+                    transitions.push(alert);
+                }
+            }
+        }
+
+        inner.timeline.extend(transitions.iter().cloned());
+
+        // Scores: 1000 minus the summed penalties of active alerts,
+        // per entity; the fleet score is the worst entity.
+        let (scores, fleet) = compute_scores(&inner.states);
+        self.fleet_score.set(fleet);
+        for (entity, score) in &scores {
+            self.registry
+                .gauge("ow_health_entity_score", &[("entity", entity)])
+                .set(*score);
+        }
+
+        // Feed the black box: new journal events since the last tick
+        // (sequence numbers stripped for cross-run determinism), every
+        // rule-signal reading, and a tick summary.
+        let active = inner.states.values().filter(|s| s.active).count();
+        pull_journal(
+            &self.journal,
+            &mut inner.last_journal_seq,
+            &mut inner.recorder,
+        );
+        for line in signal_lines {
+            inner.recorder.record(line);
+        }
+        inner.recorder.record(FlightEntry {
+            at_ns: sample.at_ns,
+            kind: "tick".into(),
+            detail: format!("tick={tick} fleet_score={fleet} active_alerts={active}"),
+        });
+
+        if let Some(alert) = freeze {
+            let reason = format!(
+                "{} {} fired at severity critical for {}",
+                alert.code, alert.rule, alert.entity
+            );
+            self.freeze_recorder(inner, &reason, sample.at_ns, Some(&sample));
+        }
+        transitions
+    }
+
+    /// Report a rejected `WindowFsm` transition: appends a critical
+    /// [`FSM_REJECT_CODE`] record to the timeline, counts it, and
+    /// freezes the flight recorder. Called from the engine-transition
+    /// sink, so any invariant rejection anywhere in the system becomes
+    /// a post-mortem.
+    pub fn fsm_invariant_rejected(&self, side: &str, subwindow: u32, detail: &str) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let at_ns = inner.last_at_ns.unwrap_or(0);
+        let alert = AlertEvent {
+            tick: inner.ticks,
+            at_ns,
+            code: FSM_REJECT_CODE.to_string(),
+            rule: "fsm_invariant_rejected".into(),
+            entity: format!("{side}:{subwindow}"),
+            severity: Severity::Critical.name().to_string(),
+            state: "fired".into(),
+            value: 1,
+            threshold: 0,
+        };
+        self.alerts_critical.inc();
+        self.journal.record(
+            Event::new(
+                "health_alert",
+                format!(
+                    "{FSM_REJECT_CODE} fsm_invariant_rejected fired for {side}:{subwindow}: {detail}"
+                ),
+            )
+            .warn()
+            .subwindow(subwindow),
+        );
+        inner.timeline.push(alert);
+        let reason =
+            format!("{FSM_REJECT_CODE} WindowFsm invariant rejected on {side} sub-window {subwindow}: {detail}");
+        pull_journal(
+            &self.journal,
+            &mut inner.last_journal_seq,
+            &mut inner.recorder,
+        );
+        self.freeze_recorder(inner, &reason, at_ns, None);
+    }
+
+    fn freeze_recorder(
+        &self,
+        inner: &mut EngineInner,
+        reason: &str,
+        at_ns: u64,
+        sample: Option<&HealthSample>,
+    ) {
+        if inner.recorder.is_frozen() {
+            return;
+        }
+        // Use the evaluating sample when we have one so the dump shows
+        // exactly the metrics the decision was made on; fall back to a
+        // fresh snapshot for out-of-tick freezes (FSM rejections).
+        let mut metrics = match sample {
+            Some(s) => s.metrics.clone(),
+            None => self.registry.snapshot().metrics,
+        };
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        let registry = crate::RegistrySnapshot { metrics };
+        let traces = TraceReport::capture("flightrec", &self.tracer, None)
+            .traces
+            .iter()
+            .map(|t| TraceBrief {
+                trace_id: t.trace_id,
+                subwindow: t.subwindow,
+                spans: t.spans.len() as u64,
+                wall_ns: t.critical_path.wall_ns,
+            })
+            .collect();
+        inner
+            .recorder
+            .freeze(reason, at_ns, registry, traces, inner.timeline.clone());
+    }
+
+    /// The full alert timeline so far.
+    pub fn timeline(&self) -> Vec<AlertEvent> {
+        self.inner.lock().timeline.clone()
+    }
+
+    /// Currently-active alerts as `(code, entity)` pairs, sorted.
+    pub fn active_alerts(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock();
+        inner
+            .states
+            .iter()
+            .filter(|(_, s)| s.active)
+            .map(|((ri, entity), _)| (self.rules.rules()[*ri].code.clone(), entity.clone()))
+            .collect()
+    }
+
+    /// Whether the flight recorder froze.
+    pub fn frozen(&self) -> bool {
+        self.inner.lock().recorder.is_frozen()
+    }
+
+    /// The frozen post-mortem, when a freeze happened.
+    pub fn flight_dump(&self, run: &str) -> Option<FlightDump> {
+        self.inner.lock().recorder.dump(run)
+    }
+
+    /// A serializable summary of the engine state (for
+    /// `results/health_*.json` artifacts).
+    pub fn report(&self, run: &str) -> HealthReport {
+        let inner = self.inner.lock();
+        let (scores, fleet) = compute_scores(&inner.states);
+        HealthReport {
+            run: run.to_string(),
+            ticks: inner.ticks,
+            fleet_score: fleet,
+            entity_scores: scores,
+            frozen: inner.recorder.is_frozen(),
+            timeline: inner.timeline.clone(),
+        }
+    }
+}
+
+/// The on-disk health summary (`results/health_*.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct HealthReport {
+    /// Name of the run.
+    pub run: String,
+    /// Ticks evaluated.
+    pub ticks: u64,
+    /// The fleet score (worst entity; 1000 = healthy).
+    pub fleet_score: u64,
+    /// Per-entity scores, sorted by entity key.
+    pub entity_scores: BTreeMap<String, u64>,
+    /// Whether the flight recorder froze during the run.
+    pub frozen: bool,
+    /// The full alert timeline.
+    pub timeline: Vec<AlertEvent>,
+}
+
+fn compute_scores(states: &BTreeMap<(usize, String), RuleState>) -> (BTreeMap<String, u64>, u64) {
+    let mut penalties: BTreeMap<String, u64> = BTreeMap::new();
+    for ((_, entity), state) in states {
+        let p = penalties.entry(entity.clone()).or_insert(0);
+        if state.active {
+            *p += state.severity_penalty;
+        }
+    }
+    let scores: BTreeMap<String, u64> = penalties
+        .into_iter()
+        .map(|(e, p)| (e, 1000u64.saturating_sub(p)))
+        .collect();
+    let fleet = scores.values().copied().min().unwrap_or(1000);
+    (scores, fleet)
+}
+
+fn entity_key(rule: &Rule, labels: &[(String, String)]) -> Option<String> {
+    match &rule.group_by {
+        None => Some(rule.entity.clone()),
+        Some(key) => labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| format!("{}:{}", rule.entity, v)),
+    }
+}
+
+/// Aggregate the sample's series into per-entity inputs for one rule.
+/// BTreeMap keying makes the result independent of sample order.
+fn aggregate(rule: &Rule, sample: &HealthSample) -> BTreeMap<String, GroupAgg> {
+    let mut groups: BTreeMap<String, GroupAgg> = BTreeMap::new();
+    for m in &sample.metrics {
+        if !rule.selector.matches(&m.name, &m.labels) {
+            continue;
+        }
+        let Some(key) = entity_key(rule, &m.labels) else {
+            continue;
+        };
+        let g = groups.entry(key).or_default();
+        g.value += m.value;
+        if let Some(h) = &m.histogram {
+            g.hist_count += h.count;
+            for (bound, count) in &h.buckets {
+                *g.hist_buckets.entry(*bound).or_insert(0) += count;
+            }
+        }
+    }
+    for p in &sample.peaks {
+        if !rule.selector.matches(&p.name, &p.labels) {
+            continue;
+        }
+        let Some(key) = entity_key(rule, &p.labels) else {
+            continue;
+        };
+        groups.entry(key).or_default().peak += p.peak;
+    }
+    if let Signal::RatioPermille { denominator } = &rule.signal {
+        for m in &sample.metrics {
+            if !denominator.matches(&m.name, &m.labels) {
+                continue;
+            }
+            let Some(key) = entity_key(rule, &m.labels) else {
+                continue;
+            };
+            groups.entry(key).or_default().denom += m.value;
+        }
+    }
+    groups
+}
+
+fn eval_signal(signal: &Signal, agg: &GroupAgg, state: &mut RuleState, elapsed_ns: u64) -> u64 {
+    match signal {
+        Signal::Value => agg.value,
+        Signal::Peak => agg.peak,
+        Signal::Delta => {
+            let delta = agg.value.saturating_sub(state.prev.unwrap_or(agg.value));
+            state.prev = Some(agg.value);
+            delta
+        }
+        Signal::RatePerSec => {
+            let delta = agg.value.saturating_sub(state.prev.unwrap_or(agg.value));
+            state.prev = Some(agg.value);
+            delta
+                .saturating_mul(1_000_000_000)
+                .checked_div(elapsed_ns)
+                .unwrap_or(0)
+        }
+        Signal::EwmaPermille { alpha_permille } => {
+            let prev = state.ewma.unwrap_or(agg.value);
+            let next = (alpha_permille * agg.value + (1000 - alpha_permille) * prev) / 1000;
+            state.ewma = Some(next);
+            next
+        }
+        Signal::RatioPermille { .. } => agg
+            .value
+            .saturating_mul(1000)
+            .checked_div(agg.denom)
+            .unwrap_or(0),
+        Signal::SaturationPermille { capacity } => {
+            agg.peak.saturating_mul(1000) / (*capacity).max(1)
+        }
+        Signal::BurnRatePermille {
+            deadline_ns,
+            budget_permille,
+        } => {
+            if agg.hist_count == 0 {
+                return 0;
+            }
+            // A log2 bucket with upper bound b holds values in
+            // (b/2, b]; every value in it certainly violates the
+            // deadline when its *lower* bound is at or past it.
+            let violated: u64 = agg
+                .hist_buckets
+                .iter()
+                .filter(|(bound, _)| **bound > 1 && **bound / 2 >= *deadline_ns)
+                .map(|(_, count)| *count)
+                .sum();
+            let violated_permille = violated.saturating_mul(1000) / agg.hist_count;
+            violated_permille.saturating_mul(1000) / budget_permille
+        }
+    }
+}
+
+fn pull_journal(journal: &EventJournal, last_seq: &mut u64, recorder: &mut FlightRecorder) {
+    for e in journal.events() {
+        if e.seq < *last_seq {
+            continue;
+        }
+        let mut ctx = Vec::new();
+        if let Some(sw) = e.subwindow {
+            ctx.push(format!("sw={sw}"));
+        }
+        if let Some(ph) = &e.phase {
+            ctx.push(format!("phase={ph}"));
+        }
+        if let Some(sh) = e.shard {
+            ctx.push(format!("shard={sh}"));
+        }
+        let ctx = if ctx.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", ctx.join(" "))
+        };
+        let level = match e.level {
+            crate::Level::Info => "info",
+            crate::Level::Warn => "warn",
+        };
+        recorder.record(FlightEntry {
+            at_ns: e.at_ns.unwrap_or(0),
+            kind: "event".into(),
+            detail: format!("{level} {}{ctx}: {}", e.kind, e.message),
+        });
+    }
+    *last_seq = journal.total_recorded();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn metric(name: &str, labels: &[(&str, &str)], kind: &str, value: u64) -> MetricSnapshot {
+        MetricSnapshot {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind: kind.into(),
+            value,
+            histogram: None,
+        }
+    }
+
+    fn engine_with(rules: Vec<Rule>) -> (Obs, Arc<HealthEngine>) {
+        let obs = Obs::new();
+        let engine = obs.install_health(
+            RuleSet::new(rules).expect("rules validate"),
+            FlightRecorderConfig::default(),
+        );
+        (obs, engine)
+    }
+
+    fn sample(at_ns: u64, metrics: Vec<MetricSnapshot>) -> HealthSample {
+        HealthSample {
+            at_ns,
+            metrics,
+            peaks: vec![],
+        }
+    }
+
+    #[test]
+    fn code_scheme_is_enforced() {
+        assert!(valid_code("OW-HEALTH-204"));
+        assert!(!valid_code("OW-HEALTH-20"));
+        assert!(!valid_code("OW-HEALTH-20x"));
+        assert!(!valid_code("ow-health-204"));
+        let bad = Rule::new(
+            "HEALTH-1",
+            "x",
+            MetricSelector::new("ow_test_total", &[]),
+            Signal::Value,
+            Cmp::Above,
+            0,
+            Severity::Info,
+        );
+        assert!(RuleSet::new(vec![bad]).is_err());
+        let reserved = Rule::new(
+            FSM_REJECT_CODE,
+            "x",
+            MetricSelector::new("ow_test_total", &[]),
+            Signal::Value,
+            Cmp::Above,
+            0,
+            Severity::Info,
+        );
+        assert!(RuleSet::new(vec![reserved]).is_err());
+    }
+
+    #[test]
+    fn threshold_duration_fire_and_clear() {
+        let (_obs, engine) = engine_with(vec![Rule::new(
+            "OW-HEALTH-900",
+            "unit_backlog",
+            MetricSelector::new("ow_test_backlog", &[]),
+            Signal::Value,
+            Cmp::Above,
+            10,
+            Severity::Warning,
+        )
+        .for_ticks(2)
+        .entity("unit")]);
+
+        // One breaching tick is not enough (for_ticks = 2)…
+        let t0 = engine.tick_with_sample(sample(
+            100,
+            vec![metric("ow_test_backlog", &[], "gauge", 50)],
+        ));
+        assert!(t0.is_empty());
+        // …the second consecutive breach fires.
+        let t1 = engine.tick_with_sample(sample(
+            200,
+            vec![metric("ow_test_backlog", &[], "gauge", 60)],
+        ));
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].state, "fired");
+        assert_eq!(t1[0].code, "OW-HEALTH-900");
+        assert_eq!(t1[0].entity, "unit");
+        // Active alerts don't refire…
+        assert!(engine
+            .tick_with_sample(sample(
+                300,
+                vec![metric("ow_test_backlog", &[], "gauge", 70)]
+            ))
+            .is_empty());
+        assert_eq!(
+            engine.active_alerts(),
+            vec![("OW-HEALTH-900".into(), "unit".into())]
+        );
+        // …and clear as soon as the signal recovers.
+        let t3 = engine.tick_with_sample(sample(
+            400,
+            vec![metric("ow_test_backlog", &[], "gauge", 5)],
+        ));
+        assert_eq!(t3.len(), 1);
+        assert_eq!(t3[0].state, "cleared");
+        assert!(engine.active_alerts().is_empty());
+        assert!(!engine.frozen(), "warning severity never freezes");
+
+        let report = engine.report("unit");
+        assert_eq!(report.ticks, 4);
+        assert_eq!(report.fleet_score, 1000, "cleared alert restores health");
+        assert_eq!(report.timeline.len(), 2);
+    }
+
+    #[test]
+    fn group_by_splits_entities_and_scores_them() {
+        let (obs, engine) = engine_with(vec![Rule::new(
+            "OW-HEALTH-901",
+            "unit_shard_depth",
+            MetricSelector::new("ow_test_depth", &[]),
+            Signal::Value,
+            Cmp::Above,
+            10,
+            Severity::Warning,
+        )
+        .group_by("shard")
+        .entity("shard")]);
+        let fired = engine.tick_with_sample(sample(
+            100,
+            vec![
+                metric("ow_test_depth", &[("shard", "0")], "gauge", 3),
+                metric("ow_test_depth", &[("shard", "1")], "gauge", 99),
+            ],
+        ));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].entity, "shard:1");
+        let report = engine.report("unit");
+        assert_eq!(report.entity_scores["shard:0"], 1000);
+        assert_eq!(report.entity_scores["shard:1"], 750);
+        assert_eq!(report.fleet_score, 750, "fleet is the worst entity");
+        assert_eq!(
+            obs.snapshot().value("ow_health_fleet_score", &[]),
+            750,
+            "fleet score is exported as a gauge"
+        );
+        assert_eq!(
+            obs.snapshot()
+                .value("ow_health_entity_score", &[("entity", "shard:1")]),
+            750
+        );
+    }
+
+    #[test]
+    fn ratio_delta_rate_and_ewma_signals() {
+        let mut st = RuleState::default();
+        let mut agg = GroupAgg {
+            value: 30,
+            denom: 200,
+            ..GroupAgg::default()
+        };
+        assert_eq!(
+            eval_signal(
+                &Signal::RatioPermille {
+                    denominator: MetricSelector::new("ow_test_d", &[])
+                },
+                &agg,
+                &mut st,
+                0
+            ),
+            150
+        );
+        agg.denom = 0;
+        assert_eq!(
+            eval_signal(
+                &Signal::RatioPermille {
+                    denominator: MetricSelector::new("ow_test_d", &[])
+                },
+                &agg,
+                &mut st,
+                0
+            ),
+            0,
+            "zero denominator reads 0, not a panic"
+        );
+
+        // Delta: first observation is 0 (seeded), then increments.
+        let mut st = RuleState::default();
+        agg.value = 100;
+        assert_eq!(eval_signal(&Signal::Delta, &agg, &mut st, 0), 0);
+        agg.value = 130;
+        assert_eq!(eval_signal(&Signal::Delta, &agg, &mut st, 0), 30);
+
+        // Rate: 30 events over 2 virtual seconds = 15/s.
+        let mut st = RuleState::default();
+        agg.value = 100;
+        assert_eq!(eval_signal(&Signal::RatePerSec, &agg, &mut st, 1), 0);
+        agg.value = 130;
+        assert_eq!(
+            eval_signal(&Signal::RatePerSec, &agg, &mut st, 2_000_000_000),
+            15
+        );
+
+        // EWMA seeds with the first value then smooths.
+        let mut st = RuleState::default();
+        agg.value = 1000;
+        let e0 = eval_signal(
+            &Signal::EwmaPermille {
+                alpha_permille: 500,
+            },
+            &agg,
+            &mut st,
+            0,
+        );
+        assert_eq!(e0, 1000);
+        agg.value = 0;
+        let e1 = eval_signal(
+            &Signal::EwmaPermille {
+                alpha_permille: 500,
+            },
+            &agg,
+            &mut st,
+            0,
+        );
+        assert_eq!(e1, 500);
+
+        // Saturation of a peak against a fixed capacity.
+        agg.peak = 75;
+        assert_eq!(
+            eval_signal(
+                &Signal::SaturationPermille { capacity: 100 },
+                &agg,
+                &mut st,
+                0
+            ),
+            750
+        );
+    }
+
+    #[test]
+    fn burn_rate_reads_histogram_buckets_conservatively() {
+        // 90 values in bucket 1024 (lower bound 512), 10 in bucket
+        // 2^21 (lower bound 2^20 ≥ 1ms deadline → violations).
+        let mut agg = GroupAgg {
+            hist_count: 100,
+            ..GroupAgg::default()
+        };
+        agg.hist_buckets.insert(1024, 90);
+        agg.hist_buckets.insert(1 << 21, 10);
+        let mut st = RuleState::default();
+        let signal = Signal::BurnRatePermille {
+            deadline_ns: 1_000_000,
+            budget_permille: 50,
+        };
+        // 10% violations against a 5% budget = burn 2000‰ (2× budget).
+        assert_eq!(eval_signal(&signal, &agg, &mut st, 0), 2000);
+        // Bucket straddling the deadline (lower bound below it) does
+        // not count — conservative undercount, no false positives.
+        let mut low = GroupAgg {
+            hist_count: 100,
+            ..GroupAgg::default()
+        };
+        low.hist_buckets.insert(1 << 20, 100); // (2^19, 2^20] straddles 1e6
+        assert_eq!(eval_signal(&signal, &low, &mut st, 0), 0);
+        let empty = GroupAgg::default();
+        assert_eq!(eval_signal(&signal, &empty, &mut st, 0), 0);
+    }
+
+    #[test]
+    fn critical_fire_freezes_the_flight_recorder_once() {
+        let (_obs, engine) = engine_with(vec![Rule::new(
+            "OW-HEALTH-902",
+            "unit_wedged",
+            MetricSelector::new("ow_test_wedged", &[]),
+            Signal::Value,
+            Cmp::Above,
+            0,
+            Severity::Critical,
+        )]);
+        engine.tick_with_sample(sample(100, vec![metric("ow_test_wedged", &[], "gauge", 0)]));
+        assert!(!engine.frozen());
+        let fired =
+            engine.tick_with_sample(sample(200, vec![metric("ow_test_wedged", &[], "gauge", 3)]));
+        assert_eq!(fired.len(), 1);
+        assert!(engine.frozen());
+        let dump = engine.flight_dump("unit").expect("frozen dump");
+        assert!(dump.freeze_reason.contains("OW-HEALTH-902"));
+        assert_eq!(dump.frozen_at_ns, 200);
+        assert_eq!(dump.timeline.len(), 1);
+        assert!(
+            dump.entries.iter().any(|e| e.kind == "tick"),
+            "ring holds tick summaries"
+        );
+        assert!(
+            dump.entries.iter().any(|e| e.kind == "signal"),
+            "ring holds signal readings"
+        );
+        let doc = crate::json::parse(&dump.to_json()).expect("dump parses");
+        crate::flightrec::validate_flightrec_json(&doc).expect("dump validates");
+    }
+
+    #[test]
+    fn fsm_rejection_freezes_via_engine_sink() {
+        use ow_common::engine::{WindowEngine, WindowEvent, WindowFsm};
+        let obs = Obs::new();
+        let engine = obs.install_health(RuleSet::default(), FlightRecorderConfig::default());
+        let mut fsm_engine = WindowEngine::new();
+        fsm_engine.set_sink(obs.engine_sink("controller"));
+        fsm_engine.insert(WindowFsm::announced(3, 5));
+        fsm_engine.apply(3, WindowEvent::StreamComplete).unwrap();
+        fsm_engine.apply(3, WindowEvent::Acked).unwrap();
+        assert!(!engine.frozen());
+        // Applying to a released (pruned) window is an invariant
+        // rejection — the black box freezes with the reserved code.
+        assert!(fsm_engine.apply(3, WindowEvent::Acked).is_err());
+        assert!(engine.frozen());
+        let dump = engine.flight_dump("unit").expect("frozen");
+        assert!(
+            dump.freeze_reason.contains(FSM_REJECT_CODE),
+            "{}",
+            dump.freeze_reason
+        );
+        assert_eq!(dump.timeline.len(), 1);
+        assert_eq!(dump.timeline[0].entity, "controller:3");
+        assert!(
+            dump.entries
+                .iter()
+                .any(|e| e.detail.contains("rejected event")),
+            "the rejected transition itself is in the ring"
+        );
+    }
+
+    #[test]
+    fn evaluation_is_order_independent() {
+        let metrics = [
+            metric("ow_test_num", &[("shard", "0")], "counter", 40),
+            metric("ow_test_num", &[("shard", "1")], "counter", 5),
+            metric("ow_test_den", &[("shard", "0")], "counter", 100),
+            metric("ow_test_den", &[("shard", "1")], "counter", 100),
+        ];
+        let rule = Rule::new(
+            "OW-HEALTH-903",
+            "unit_ratio",
+            MetricSelector::new("ow_test_num", &[]),
+            Signal::RatioPermille {
+                denominator: MetricSelector::new("ow_test_den", &[]),
+            },
+            Cmp::Above,
+            200,
+            Severity::Warning,
+        )
+        .group_by("shard")
+        .entity("shard");
+
+        let mut timelines = Vec::new();
+        for order in [[0usize, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2]] {
+            let (_obs, engine) = engine_with(vec![rule.clone()]);
+            let shuffled: Vec<MetricSnapshot> = order.iter().map(|i| metrics[*i].clone()).collect();
+            engine.tick_with_sample(sample(100, shuffled));
+            timelines.push(engine.timeline());
+        }
+        assert_eq!(timelines[0], timelines[1]);
+        assert_eq!(timelines[0], timelines[2]);
+        assert_eq!(timelines[0].len(), 1);
+        assert_eq!(timelines[0][0].entity, "shard:0");
+    }
+}

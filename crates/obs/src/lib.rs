@@ -17,6 +17,13 @@
 //!   trees on the virtual clock, stitched across the lossy channel by
 //!   a wire-propagated [`TraceContext`], analysed by
 //!   [`critical_path`] and exported as `results/trace_*.json`.
+//! * [`HealthEngine`] ([`health`]) — the streaming interpretation
+//!   layer: declarative `OW-HEALTH-*` rules over derived signals
+//!   (rates, EWMA, saturation, SLO burn rate), per-entity scoring
+//!   rolled up to `ow_health_fleet_score`, and a bounded black-box
+//!   [`FlightRecorder`] ([`flightrec`]) that freezes a deterministic
+//!   `results/flightrec_*.json` post-mortem on critical alerts or FSM
+//!   invariant rejections.
 //!
 //! [`Obs`] bundles one registry, one journal, and one tracer into a
 //! cheap-clone handle that threads through the switch, controller, and
@@ -26,6 +33,8 @@
 //! journal, and (when the window has an active trace) the span tree.
 
 pub mod export;
+pub mod flightrec;
+pub mod health;
 pub mod journal;
 pub mod json;
 pub mod registry;
@@ -34,13 +43,24 @@ pub mod span;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use ow_common::engine::{Transition, TransitionSink, WindowPhase};
 use ow_common::metrics::ReliabilityMetrics;
 
 pub use export::{check_exposition, prometheus_text, ObsReport};
+pub use flightrec::{
+    validate_flightrec_json, FlightDump, FlightEntry, FlightRecorder, FlightRecorderConfig,
+    TraceBrief,
+};
+pub use health::{
+    valid_code, AlertEvent, Cmp, HealthEngine, HealthReport, HealthSample, MetricSelector, Rule,
+    RuleSet, Severity, Signal, FSM_REJECT_CODE,
+};
 pub use journal::{Event, EventJournal, Level};
 pub use registry::{
-    validate_metric_name, Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot,
+    validate_metric_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot,
+    MetricsRegistry, PeakSample, RegistrySnapshot,
 };
 pub use span::{
     critical_path, validate_trace_json, CriticalPath, PhaseMark, Span, TraceContext, TraceReport,
@@ -55,6 +75,7 @@ pub struct Obs {
     registry: Arc<MetricsRegistry>,
     journal: Arc<EventJournal>,
     tracer: Arc<Tracer>,
+    health: Arc<RwLock<Option<Arc<HealthEngine>>>>,
 }
 
 impl Default for Obs {
@@ -84,7 +105,34 @@ impl Obs {
             registry,
             journal,
             tracer,
+            health: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Install a [`HealthEngine`] over this handle's registry, journal,
+    /// and tracer. Every clone of the handle sees the engine (the
+    /// engine-transition sink uses it to freeze the flight recorder on
+    /// FSM invariant rejections). Installing again replaces the
+    /// previous engine.
+    pub fn install_health(
+        &self,
+        rules: RuleSet,
+        recorder_cfg: FlightRecorderConfig,
+    ) -> Arc<HealthEngine> {
+        let engine = Arc::new(HealthEngine::new(
+            rules,
+            Arc::clone(&self.registry),
+            Arc::clone(&self.journal),
+            Arc::clone(&self.tracer),
+            recorder_cfg,
+        ));
+        *self.health.write() = Some(Arc::clone(&engine));
+        engine
+    }
+
+    /// The installed health engine, if any.
+    pub fn health(&self) -> Option<Arc<HealthEngine>> {
+        self.health.read().clone()
     }
 
     /// The span tracer.
@@ -234,6 +282,16 @@ impl TransitionSink for EngineObserver {
                         )
                         .warn()
                         .subwindow(t.subwindow),
+                    );
+                }
+                // A rejected transition is an invariant violation: when
+                // a health engine is installed, it freezes the black
+                // box so the failure becomes a post-mortem artifact.
+                if let Some(health) = self.obs.health() {
+                    health.fsm_invariant_rejected(
+                        &self.side,
+                        t.subwindow,
+                        &format!("event '{}' rejected in phase '{}'", t.event, t.from),
                     );
                 }
             }

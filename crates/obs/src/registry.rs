@@ -110,20 +110,30 @@ impl Counter {
     }
 }
 
+#[derive(Debug, Default)]
+struct GaugeCore {
+    value: AtomicU64,
+    /// High watermark since the last [`Gauge::take_peak`] — queue-depth
+    /// spikes survive between health-engine ticks even when the gauge
+    /// has already drained back down.
+    peak: AtomicU64,
+}
+
 /// A gauge handle: a value that can move both ways (queue depths,
-/// in-flight window counts).
+/// in-flight window counts), tracking its high watermark on the side.
 #[derive(Debug, Clone, Default)]
-pub struct Gauge(Arc<AtomicU64>);
+pub struct Gauge(Arc<GaugeCore>);
 
 impl Gauge {
     /// Set the value.
     pub fn set(&self, v: u64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.peak.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Increment by one.
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.add(1);
     }
 
     /// Decrement by one, saturating at zero.
@@ -134,13 +144,16 @@ impl Gauge {
     /// Increment by `n` (batched movements, e.g. a whole record block
     /// entering a queue).
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        let new = self.0.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.0.peak.fetch_max(new, Ordering::Relaxed);
     }
 
-    /// Decrement by `n`, saturating at zero.
+    /// Decrement by `n`, saturating at zero (the watermark is
+    /// untouched: it only ever rises until read).
     pub fn sub(&self, n: u64) {
         let _ = self
             .0
+            .value
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_sub(n))
             });
@@ -148,7 +161,23 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// The high watermark since the previous `take_peak`, resetting it
+    /// to the current value (never below it — a reader observing a
+    /// still-elevated gauge keeps seeing at least that level).
+    pub fn take_peak(&self) -> u64 {
+        let now = self.0.value.load(Ordering::Relaxed);
+        self.0.peak.swap(now, Ordering::Relaxed).max(now)
+    }
+
+    /// The high watermark without resetting it.
+    pub fn peak(&self) -> u64 {
+        self.0
+            .peak
+            .load(Ordering::Relaxed)
+            .max(self.0.value.load(Ordering::Relaxed))
     }
 }
 
@@ -341,6 +370,26 @@ impl MetricsRegistry {
         self.metrics.write().entry(id).or_insert_with(mk).clone()
     }
 
+    /// Read-and-reset the high watermark of every registered gauge, in
+    /// deterministic (name, labels) order. This is the health engine's
+    /// per-tick peak sample; [`MetricsRegistry::snapshot`] deliberately
+    /// leaves watermarks alone so exports stay side-effect-free and
+    /// byte-stable.
+    pub fn take_gauge_peaks(&self) -> Vec<PeakSample> {
+        let metrics = self.metrics.read();
+        metrics
+            .iter()
+            .filter_map(|(id, m)| match m {
+                Metric::Gauge(g) => Some(PeakSample {
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    peak: g.take_peak(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// A point-in-time snapshot of every registered metric, in
     /// deterministic (name, labels) order.
     pub fn snapshot(&self) -> RegistrySnapshot {
@@ -424,6 +473,18 @@ impl HistogramSnapshot {
             p99: h.quantile(0.99).unwrap_or(0),
         }
     }
+}
+
+/// One gauge's read-and-reset high watermark (see
+/// [`MetricsRegistry::take_gauge_peaks`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PeakSample {
+    /// Gauge name (`ow_<crate>_<name>`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// High watermark since the previous read.
+    pub peak: u64,
 }
 
 /// Serialized state of one metric.
@@ -518,6 +579,44 @@ mod tests {
         let g = Gauge::default();
         g.dec();
         assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_watermark_survives_a_drained_spike_and_resets_on_read() {
+        let g = Gauge::default();
+        g.set(3);
+        g.add(97); // spike to 100…
+        g.sub(98); // …and drain back to 2 before anyone looks
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 100, "peek does not reset");
+        assert_eq!(g.take_peak(), 100, "the spike survived the drain");
+        // After the read the watermark restarts from the current value,
+        // not zero: a still-elevated gauge is still a peak of itself.
+        assert_eq!(g.take_peak(), 2);
+        g.set(1);
+        assert_eq!(g.take_peak(), 2, "the pre-drop level was the max");
+        assert_eq!(g.take_peak(), 1);
+    }
+
+    #[test]
+    fn registry_peak_sampling_resets_every_gauge_deterministically() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ow_test_events_total", &[]).inc();
+        let g0 = reg.gauge("ow_test_depth", &[("shard", "0")]);
+        let g1 = reg.gauge("ow_test_depth", &[("shard", "1")]);
+        g0.add(50);
+        g0.sub(50);
+        g1.add(7);
+        let peaks = reg.take_gauge_peaks();
+        assert_eq!(peaks.len(), 2, "counters are not peak-sampled");
+        assert_eq!(peaks[0].labels, vec![("shard".into(), "0".into())]);
+        assert_eq!(peaks[0].peak, 50);
+        assert_eq!(peaks[1].peak, 7);
+        // Snapshots never touch watermarks; sampling does.
+        let _ = reg.snapshot();
+        let again = reg.take_gauge_peaks();
+        assert_eq!(again[0].peak, 0);
+        assert_eq!(again[1].peak, 7, "gauge 1 is still at 7");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod app;
 pub mod collect;
 pub mod consistency;
 pub mod flowkey;
+pub mod health;
 pub mod latency;
 pub mod osmodel;
 pub mod placement;

@@ -1,0 +1,160 @@
+//! End-to-end acceptance for the fleet health engine and the black-box
+//! flight recorder, mirroring the `health_smoke` bench gates at test
+//! scale:
+//!
+//! 1. **Precision.** A lossless fleet with the full fleet + controller
+//!    catalog installed raises zero alerts and keeps the recorder warm
+//!    (unfrozen) — a healthy system is never paged.
+//! 2. **Recall.** Injected faults fire exactly their matching rules:
+//!    a crash fires `OW-HEALTH-301`, a bursting rack fires
+//!    `OW-HEALTH-302` for that rack only, a forced escalation drill
+//!    fires the critical `OW-HEALTH-204` and freezes the black box.
+//! 3. **Determinism.** Same-seed chaos runs produce byte-identical
+//!    flight-recorder dumps and alert timelines (a proptest over
+//!    seeds), which is what lets CI `cmp` two smoke artifacts.
+//! 4. **Invariant coupling.** A `WindowFsm` invariant rejection inside
+//!    an observed engine freezes the recorder through the
+//!    `TransitionSink` path with the reserved `OW-HEALTH-001` code.
+
+use std::collections::BTreeSet;
+
+use ow_common::engine::{WindowEngine, WindowEvent, WindowFsm};
+use ow_common::time::Duration;
+use ow_controller::health::controller_health_rules;
+use ow_netsim::fleet::{self, fleet_health_rules};
+use ow_netsim::{ChurnEvent, ChurnKind, FleetConfig, RackBurst};
+use ow_obs::{
+    validate_flightrec_json, FlightRecorderConfig, HealthEngine, Obs, RuleSet, FSM_REJECT_CODE,
+};
+use proptest::prelude::*;
+
+/// The catalog every fleet test installs: fleet + controller rules,
+/// minus the scheduling-dependent queue-watermark rule (its firing
+/// path is unit-tested in ow-controller; here it would leak thread
+/// timing into the byte-identity checks).
+fn fleet_catalog() -> RuleSet {
+    RuleSet::merged(vec![fleet_health_rules(), controller_health_rules()])
+        .expect("catalogs merge")
+        .without(&["OW-HEALTH-201"])
+}
+
+/// A small chaos fleet: 30% loss, rack 1 bursting at 90%, switch 2
+/// crashing mid-run, every 4th window's retransmit channel dead.
+fn chaos_config(seed: u64) -> FleetConfig {
+    FleetConfig {
+        switches: 16,
+        workers: 2,
+        local_windows: 3,
+        afr_loss: 0.30,
+        bursts: vec![RackBurst {
+            rack: 1,
+            from: Duration::ZERO,
+            until: Duration::from_millis(100),
+            loss: 0.90,
+        }],
+        churn: vec![ChurnEvent {
+            at: Duration::from_micros(1_700),
+            switch: 2,
+            kind: ChurnKind::Crash,
+        }],
+        escalate_every: 4,
+        seed,
+        ..FleetConfig::default()
+    }
+}
+
+/// Run a fleet with the health catalog installed; returns the engine.
+fn run_with_health(cfg: &FleetConfig) -> std::sync::Arc<HealthEngine> {
+    let obs = Obs::with_journal_capacity(1 << 15);
+    let engine = obs.install_health(fleet_catalog(), FlightRecorderConfig::default());
+    fleet::run(cfg, Some(&obs));
+    engine
+}
+
+fn fired_pairs(engine: &HealthEngine) -> BTreeSet<(String, String)> {
+    engine
+        .timeline()
+        .iter()
+        .filter(|a| a.state == "fired")
+        .map(|a| (a.code.clone(), a.entity.clone()))
+        .collect()
+}
+
+#[test]
+fn lossless_fleet_raises_zero_alerts() {
+    let engine = run_with_health(&FleetConfig {
+        switches: 16,
+        workers: 2,
+        local_windows: 3,
+        afr_loss: 0.0,
+        seed: 11,
+        ..FleetConfig::default()
+    });
+    assert!(engine.timeline().is_empty(), "{:?}", engine.timeline());
+    assert!(!engine.frozen());
+    assert_eq!(engine.report("e2e").fleet_score, 1000);
+}
+
+#[test]
+fn injected_faults_fire_exactly_their_rules() {
+    let engine = run_with_health(&chaos_config(11));
+    let fired = fired_pairs(&engine);
+    let want: BTreeSet<(String, String)> = [
+        ("OW-HEALTH-203", "controller"), // escalated recoveries burn the 1ms SLO
+        ("OW-HEALTH-204", "controller"), // every 4th window escalating is a storm
+        ("OW-HEALTH-205", "controller"), // 30% loss is a retransmit storm
+        ("OW-HEALTH-301", "fleet"),      // the injected crash
+        ("OW-HEALTH-302", "rack:1"),     // only the bursting rack
+    ]
+    .iter()
+    .map(|(c, e)| (c.to_string(), e.to_string()))
+    .collect();
+    assert_eq!(fired, want, "recall and precision must both hold");
+    // The critical 204 froze the box, and the dump validates.
+    assert!(engine.frozen());
+    let dump = engine.flight_dump("e2e").expect("critical froze");
+    assert!(dump.freeze_reason.contains("OW-HEALTH-204"));
+    let doc = ow_obs::json::parse(&dump.to_json()).expect("dump parses");
+    validate_flightrec_json(&doc).expect("dump validates");
+}
+
+#[test]
+fn fsm_invariant_rejection_freezes_through_the_sink() {
+    let obs = Obs::new();
+    let engine = obs.install_health(fleet_catalog(), FlightRecorderConfig::default());
+    let mut fsm = WindowEngine::new();
+    fsm.set_sink(obs.engine_sink("controller"));
+    fsm.insert(WindowFsm::announced(9, 4));
+    fsm.apply(9, WindowEvent::StreamComplete).unwrap();
+    fsm.apply(9, WindowEvent::Acked).unwrap();
+    assert!(!engine.frozen());
+    assert!(fsm.apply(9, WindowEvent::Acked).is_err());
+    assert!(engine.frozen(), "invariant rejection must freeze the box");
+    let dump = engine.flight_dump("e2e").expect("frozen");
+    assert!(dump.freeze_reason.contains(FSM_REJECT_CODE));
+    assert_eq!(
+        dump.timeline.last().map(|a| a.entity.as_str()),
+        Some("controller:9")
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same-seed chaos runs — threaded workers and all — dump
+    /// byte-identical post-mortems and alert timelines.
+    #[test]
+    fn same_seed_chaos_dumps_are_byte_identical(seed in 1u64..10_000) {
+        let cfg = chaos_config(seed);
+        let a = run_with_health(&cfg);
+        let b = run_with_health(&cfg);
+        prop_assert_eq!(a.timeline(), b.timeline());
+        let dump_a = a.flight_dump("e2e").map(|d| d.to_json());
+        let dump_b = b.flight_dump("e2e").map(|d| d.to_json());
+        prop_assert!(dump_a.is_some(), "the escalation drill always goes critical");
+        prop_assert_eq!(dump_a, dump_b);
+        let report_a = serde_json::to_string(&a.report("e2e")).unwrap();
+        let report_b = serde_json::to_string(&b.report("e2e")).unwrap();
+        prop_assert_eq!(report_a, report_b);
+    }
+}
