@@ -1,0 +1,381 @@
+//! Accuracy-observatory smoke: acceptance gates for the streaming
+//! ground-truth oracle, the live `AccuracyScorer`, and the
+//! `OW-HEALTH-4xx` accuracy alert catalog.
+//!
+//! Three phases, all deterministic under `--seed`:
+//!
+//! 1. **Lossless gate** — an exact-feed fleet scored against the
+//!    oracle must come out perfect (1000‰ precision/recall, 0‰ AARE),
+//!    with zero pending oracle entries and *zero* 4xx alerts: a
+//!    well-provisioned pipeline is never paged for accuracy.
+//! 2. **Live ≡ offline** — on a moderately undersized data-plane
+//!    sketch (real degradation, non-trivial scores) the live permille
+//!    aggregates must equal what the offline
+//!    `evaluate::score_reports` / `score_estimates` path computes over
+//!    the very same windows after the fact. Any drift means the
+//!    observatory is lying about accuracy.
+//! 3. **Degraded gate** — a severely undersized sketch must fire
+//!    exactly the 4xx catalog (`401` recall SLO burn, `402` sketch
+//!    saturation, `403` cardinality drift, critical `404` accuracy
+//!    collapse) and nothing else, with the 404 freezing the black-box
+//!    flight recorder. The phase repeats with the same seed and both
+//!    the accuracy summary and the flight dump must match byte for
+//!    byte; the dump lands in `results/flightrec_accuracy_smoke.json`
+//!    (override with `--trace-json <path>`) and the phase reports in
+//!    `results/accuracy_smoke.json` (override with `--json <path>`).
+//!    The degraded run's metrics snapshot is written next to the
+//!    report (`<stem>.obs.json`) so `ow-obs-report --section accuracy`
+//!    renders the scorecard.
+//!
+//! Any missed alert, spurious alert, live/offline disagreement, or
+//! nondeterministic artifact exits nonzero, so CI gates on all of them.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use omniwindow::evaluate;
+use omniwindow::mechanisms::WindowResult;
+use ow_bench::Cli;
+use ow_common::metrics;
+use ow_common::time::Duration;
+use ow_netsim::fleet;
+use ow_netsim::{ChurnEvent, ChurnKind, FleetConfig};
+use ow_obs::{
+    accuracy_health_rules, json, validate_flightrec_json, AccuracyConfig, AccuracyScorer,
+    AccuracySummary, FlightRecorderConfig, HealthEngine, HealthReport, Obs,
+};
+use serde::Serialize;
+
+/// Live vs offline permille scores on the same degraded run.
+#[derive(Serialize)]
+struct LiveOffline {
+    windows: usize,
+    live_precision_permille: u64,
+    live_recall_permille: u64,
+    live_aare_permille: u64,
+    offline_precision_permille: u64,
+    offline_recall_permille: u64,
+    offline_aare_permille: u64,
+}
+
+/// Everything the smoke writes to `results/accuracy_smoke.json`.
+#[derive(Serialize)]
+struct AccuracySmokeDoc {
+    run: String,
+    seed: u64,
+    lossless: AccuracySummary,
+    live_offline: LiveOffline,
+    degraded: AccuracySummary,
+    degraded_health: HealthReport,
+    fired_codes: Vec<String>,
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("accuracy smoke FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn permille(x: f64) -> u64 {
+    (x * 1000.0).round() as u64
+}
+
+/// A fleet announcing through a data-plane MV-Sketch of the given
+/// geometry (`None` = exact feed), with one mid-run crash so the
+/// departure path exercises too.
+fn fleet_config(seed: u64, sketch_feed: Option<(usize, usize)>) -> FleetConfig {
+    FleetConfig {
+        switches: 16,
+        workers: 2,
+        local_windows: 3,
+        afr_loss: 0.15,
+        churn: vec![ChurnEvent {
+            at: Duration::from_micros(1_700),
+            switch: 2,
+            kind: ChurnKind::Crash,
+        }],
+        sketch_feed,
+        seed,
+        ..FleetConfig::default()
+    }
+}
+
+/// One observed fleet run with the oracle, scorer, and 4xx catalog
+/// installed.
+fn run_once(
+    cfg: &FleetConfig,
+) -> (
+    std::sync::Arc<AccuracyScorer>,
+    std::sync::Arc<HealthEngine>,
+    Obs,
+) {
+    let obs = Obs::with_journal_capacity(1 << 15);
+    let engine = obs.install_health(accuracy_health_rules(), FlightRecorderConfig::default());
+    let scorer = obs.install_accuracy(AccuracyConfig::default());
+    fleet::run(cfg, Some(&obs));
+    (scorer, engine, obs)
+}
+
+/// Phase 1: an exact-feed lossless fleet scores perfectly and stays
+/// silent.
+fn lossless_gate(seed: u64) -> AccuracySummary {
+    let cfg = FleetConfig {
+        switches: 16,
+        workers: 2,
+        local_windows: 3,
+        afr_loss: 0.0,
+        seed,
+        ..FleetConfig::default()
+    };
+    let (scorer, engine, _obs) = run_once(&cfg);
+    let summary = scorer.summary();
+    if summary.windows_scored != 16 * 3 {
+        fail(format!(
+            "lossless run scored {} windows, expected 48",
+            summary.windows_scored
+        ));
+    }
+    if (
+        summary.precision_permille,
+        summary.recall_permille,
+        summary.aare_permille,
+    ) != (1000, 1000, 0)
+    {
+        fail(format!("lossless run is not a perfect score: {summary:?}"));
+    }
+    if scorer.pending_windows() != 0 {
+        fail(format!(
+            "{} oracle entries left pending after a lossless run",
+            scorer.pending_windows()
+        ));
+    }
+    let timeline = engine.timeline();
+    if !timeline.is_empty() {
+        fail(format!(
+            "lossless run raised {} accuracy alert event(s); first: {:?}",
+            timeline.len(),
+            timeline[0]
+        ));
+    }
+    if engine.frozen() {
+        fail("lossless run froze the flight recorder".into());
+    }
+    println!(
+        "  lossless: {} windows scored 1000\u{2030}/1000\u{2030}/0\u{2030}, 0 alerts",
+        summary.windows_scored
+    );
+    summary
+}
+
+/// Phase 2: the live aggregates equal the offline evaluation path on
+/// the same (moderately degraded) run.
+fn live_offline_gate(seed: u64) -> LiveOffline {
+    let (scorer, _engine, _obs) = run_once(&fleet_config(seed, Some((1, 12))));
+    let summary = scorer.summary();
+    if summary.windows_scored == 0 {
+        fail("live/offline run scored no windows".into());
+    }
+    if summary.recall_permille == 1000 {
+        fail("a 12-bucket sketch must lose flows; the scenario is broken".into());
+    }
+    let windows = scorer.windows();
+    let threshold = scorer.config().threshold;
+    let to_result = |rows: &Vec<(ow_common::flowkey::FlowKey, f64)>, i: usize| WindowResult {
+        index: i,
+        reported: rows
+            .iter()
+            .filter(|(_, s)| *s >= threshold)
+            .map(|(k, _)| *k)
+            .collect(),
+        estimates: rows.iter().cloned().collect(),
+    };
+    let mech: Vec<WindowResult> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| to_result(&w.merged, i))
+        .collect();
+    let refr: Vec<WindowResult> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| to_result(&w.truth, i))
+        .collect();
+    let pr = evaluate::score_reports(&mech, &refr);
+    let ares: Vec<f64> = (0..windows.len())
+        .map(|i| {
+            evaluate::score_estimates(
+                std::slice::from_ref(&mech[i]),
+                std::slice::from_ref(&refr[i]),
+            )
+        })
+        .collect();
+    let out = LiveOffline {
+        windows: windows.len(),
+        live_precision_permille: summary.precision_permille,
+        live_recall_permille: summary.recall_permille,
+        live_aare_permille: summary.aare_permille,
+        offline_precision_permille: permille(pr.precision),
+        offline_recall_permille: permille(pr.recall),
+        offline_aare_permille: permille(metrics::mean(&ares)),
+    };
+    if (out.live_precision_permille, out.live_recall_permille)
+        != (out.offline_precision_permille, out.offline_recall_permille)
+    {
+        fail(format!(
+            "live precision/recall {}\u{2030}/{}\u{2030} != offline {}\u{2030}/{}\u{2030}",
+            out.live_precision_permille,
+            out.live_recall_permille,
+            out.offline_precision_permille,
+            out.offline_recall_permille
+        ));
+    }
+    if out.live_aare_permille != out.offline_aare_permille {
+        fail(format!(
+            "live AARE {}\u{2030} != offline {}\u{2030}",
+            out.live_aare_permille, out.offline_aare_permille
+        ));
+    }
+    println!(
+        "  live = offline over {} windows: {}\u{2030} precision, {}\u{2030} recall, \
+         {}\u{2030} AARE",
+        out.windows, out.live_precision_permille, out.live_recall_permille, out.live_aare_permille
+    );
+    out
+}
+
+/// One degraded run: a 4-bucket sketch against ~20-key windows.
+fn degraded_once(seed: u64) -> (AccuracySummary, HealthReport, String, String, Obs) {
+    let (scorer, engine, obs) = run_once(&fleet_config(seed, Some((1, 4))));
+    let dump = match engine.flight_dump("accuracy_smoke_degraded") {
+        Some(d) => d.to_json(),
+        None => fail("degraded run did not freeze the flight recorder".into()),
+    };
+    let summary_json = serde_json::to_string(&scorer.summary()).expect("summary serializes");
+    (
+        scorer.summary(),
+        engine.report("accuracy_smoke_degraded"),
+        summary_json,
+        dump,
+        obs,
+    )
+}
+
+fn main() {
+    let cli = Cli::parse();
+    cli.progress(format!("accuracy smoke, seed {}…", cli.seed));
+
+    println!("phase 1: lossless precision gate (exact feed, perfect score, zero 4xx)");
+    let lossless = lossless_gate(cli.seed);
+
+    println!("phase 2: live vs offline agreement (12-bucket sketch feed)");
+    let live_offline = live_offline_gate(cli.seed);
+
+    println!("phase 3: degraded recall gate (4-bucket sketch feed, full 4xx catalog)");
+    let (degraded, health, summary_json, dump, obs) = degraded_once(cli.seed);
+    let (_, _, summary_json_b, dump_b, _obs_b) = degraded_once(cli.seed);
+    if summary_json != summary_json_b {
+        fail("degraded accuracy summaries differ across same-seed runs".into());
+    }
+    if dump != dump_b {
+        fail("degraded flight dumps differ across same-seed runs".into());
+    }
+    let doc = match json::parse(&dump) {
+        Ok(doc) => doc,
+        Err(e) => fail(format!("flight dump unparsable: {e}")),
+    };
+    if let Err(e) = validate_flightrec_json(&doc) {
+        fail(format!("flight dump schema invalid: {e}"));
+    }
+    if degraded.recall_permille >= 500 {
+        fail(format!(
+            "degraded recall {}\u{2030} did not collapse below 500\u{2030}",
+            degraded.recall_permille
+        ));
+    }
+    let fired = fired_pairs_checked(&health, &dump);
+    println!(
+        "  degraded: recall {}\u{2030}, fired {:?}, dump byte-identical across runs",
+        degraded.recall_permille,
+        fired.iter().map(|(c, _)| c).collect::<Vec<_>>()
+    );
+
+    let rec_path = cli
+        .trace_json
+        .clone()
+        .unwrap_or_else(|| "results/flightrec_accuracy_smoke.json".to_string());
+    if let Err(e) = std::fs::write(Path::new(&rec_path), format!("{dump}\n")) {
+        fail(format!("failed to write {rec_path}: {e}"));
+    }
+    cli.progress(format!("flight dump written to {rec_path}"));
+
+    let path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "results/accuracy_smoke.json".to_string());
+    // The degraded run's metrics snapshot, for the report renderer's
+    // `== accuracy ==` section (journal ordering is thread-racy, so
+    // this artifact renders but is not byte-compared).
+    let obs_path = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.obs.json"),
+        None => format!("{path}.obs.json"),
+    };
+    if let Err(e) = obs.report("accuracy_smoke").write(Path::new(&obs_path)) {
+        fail(format!("failed to write {obs_path}: {e}"));
+    }
+    cli.progress(format!("metrics snapshot written to {obs_path}"));
+
+    let doc = AccuracySmokeDoc {
+        run: "accuracy_smoke".into(),
+        seed: cli.seed,
+        lossless,
+        live_offline,
+        degraded,
+        degraded_health: health,
+        fired_codes: fired.iter().map(|(c, _)| c.clone()).collect(),
+    };
+    let body = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    if let Err(e) = std::fs::write(Path::new(&path), format!("{body}\n")) {
+        fail(format!("failed to write {path}: {e}"));
+    }
+    cli.progress(format!("accuracy report written to {path}"));
+    println!("accuracy smoke OK: all three phases match their expected outcomes");
+}
+
+/// Check the degraded phase's alert set: exactly the 4xx catalog, the
+/// recorder frozen by the critical 404.
+fn fired_pairs_checked(health: &HealthReport, dump: &str) -> BTreeSet<(String, String)> {
+    let fired: BTreeSet<(String, String)> = health
+        .timeline
+        .iter()
+        .filter(|a| a.state == "fired")
+        .map(|a| (a.code.clone(), a.entity.clone()))
+        .collect();
+    let want: BTreeSet<(String, String)> = [
+        ("OW-HEALTH-401", "accuracy"),
+        ("OW-HEALTH-402", "sketch:mv"),
+        ("OW-HEALTH-403", "accuracy"),
+        ("OW-HEALTH-404", "accuracy"),
+    ]
+    .iter()
+    .map(|(c, e)| (c.to_string(), e.to_string()))
+    .collect();
+    for pair in &want {
+        if !fired.contains(pair) {
+            fail(format!(
+                "degraded: expected {pair:?} to fire; fired set: {fired:?}"
+            ));
+        }
+    }
+    for pair in &fired {
+        if !want.contains(pair) {
+            fail(format!(
+                "degraded: spurious alert {pair:?}; expected only {want:?}"
+            ));
+        }
+    }
+    if !health.frozen {
+        fail("degraded report does not mark the recorder frozen".into());
+    }
+    if !dump.contains("OW-HEALTH-404") {
+        fail("flight dump freeze reason does not name OW-HEALTH-404".into());
+    }
+    fired
+}

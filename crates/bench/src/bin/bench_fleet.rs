@@ -109,6 +109,7 @@ fn fleet_cfg(switches: u32, seed: u64) -> FleetConfig {
         }],
         churn: Vec::new(),
         escalate_every: 9,
+        sketch_feed: None,
         seed,
     };
     // Crash switch 2 100µs into its second window's stream (the stagger

@@ -794,7 +794,15 @@ impl ReliableLiveController {
                 // The session's FSM arrives at Merged through the §8
                 // loop; the engine tracks it until slide-eviction.
                 engine.insert(*session.fsm());
-                let block = session.into_block();
+                let block = Arc::new(session.into_block());
+                // The window just reached Merged: hand its recovered
+                // answer to the accuracy observatory's shadow scoring
+                // lane (when installed) — the merge path pays an `Arc`
+                // bump, not a copy and not the diff.
+                let scored = session_obs
+                    .as_ref()
+                    .and_then(|o| o.accuracy())
+                    .is_some_and(|acc| acc.score_block(&block));
                 // Reconstruct the recovery timeline into the window's
                 // causal trace. `complete_session` accumulates the exact
                 // same quantities into `wall_clock` (one backoff timeout
@@ -849,6 +857,17 @@ impl ReliableLiveController {
                                 end,
                             );
                         }
+                    }
+                    if scored {
+                        tracer.span(
+                            ctx.trace_id,
+                            ctx.root,
+                            "accuracy_score",
+                            "controller",
+                            None,
+                            end,
+                            end,
+                        );
                     }
                     tracer.finish_window(ctx.trace_id, end);
                 }
@@ -947,6 +966,11 @@ impl ReliableLiveController {
                     ReliableMsg::Depart { subwindow } => {
                         departed_windows.insert(subwindow);
                         early.remove(&subwindow);
+                        // The merged answer will never arrive; release
+                        // the oracle's truth entry for this window.
+                        if let Some(acc) = session_obs.as_ref().and_then(|o| o.accuracy()) {
+                            acc.window_departed(subwindow);
+                        }
                         let ctx = ctxs.remove(&subwindow);
                         if let Some((session, mut metrics)) = sessions.remove(&subwindow) {
                             metrics.departed = 1;

@@ -43,7 +43,11 @@ use ow_controller::live::{ReliableLiveController, ReliableMsg};
 use ow_controller::reliability::RetryPolicy;
 use ow_obs::{Cmp, Counter, Gauge, MetricSelector, Obs, Rule, RuleSet, Severity, Signal};
 
+use ow_sketch::traits::{FrequencySketch, InvertibleSketch};
+use ow_sketch::MvSketch;
+
 use crate::fault::{FaultConfig, FaultStats, LossyChannel, PacketClass};
+use crate::sketchobs::ObsSketchObs;
 
 /// Bits of the global sub-window id reserved for the switch-local
 /// window index; the rest carry the switch id.
@@ -168,6 +172,13 @@ pub struct FleetConfig {
     /// Force every Nth started window's retransmission back-channel
     /// dead (recovery must escalate to the OS read); 0 disables.
     pub escalate_every: u32,
+    /// When set to `(rows, width)`, each switch announces the
+    /// heavy-hitter view recovered from an MV-Sketch of that geometry
+    /// instead of its exact batch — modelling a data plane whose sketch
+    /// is the only record of the window. An undersized geometry loses
+    /// flows *before* the channel, which only the accuracy observatory
+    /// (not transport health) can see. `None` announces exact batches.
+    pub sketch_feed: Option<(usize, usize)>,
     /// Seed driving stagger offsets, workloads, and loss draws.
     pub seed: u64,
 }
@@ -187,6 +198,7 @@ impl Default for FleetConfig {
             bursts: Vec::new(),
             churn: Vec::new(),
             escalate_every: 0,
+            sketch_feed: None,
             seed: 1,
         }
     }
@@ -245,6 +257,42 @@ impl FleetConfig {
                 rec
             })
             .collect()
+    }
+
+    /// The batch `(switch, local)` actually announces: the exact
+    /// workload unless [`FleetConfig::sketch_feed`] is set, in which
+    /// case the window passes through an MV-Sketch of that geometry and
+    /// the announced records are its recovered heavy-hitter candidates
+    /// with their estimated counts. Quality signals (occupancy,
+    /// collisions, evictions) are published through `sketch_obs` when
+    /// one is wired.
+    pub fn announced_batch(
+        &self,
+        exact: &[FlowRecord],
+        global: u32,
+        sketch_obs: Option<&crate::sketchobs::ObsSketchObs>,
+    ) -> Vec<FlowRecord> {
+        let Some((rows, width)) = self.sketch_feed else {
+            return exact.to_vec();
+        };
+        let mut mv = MvSketch::new(rows, width, self.seed ^ u64::from(global));
+        for rec in exact {
+            mv.update(&rec.key, rec.attr.scalar().round() as u64);
+        }
+        // `candidates()` is sorted and deduped, so the derived batch —
+        // and everything downstream of it — is deterministic.
+        let mut batch: Vec<FlowRecord> = mv
+            .candidates()
+            .into_iter()
+            .map(|key| FlowRecord::frequency(key, mv.query(&key), global))
+            .collect();
+        for (i, rec) in batch.iter_mut().enumerate() {
+            rec.seq = i as u32;
+        }
+        if let Some(o) = sketch_obs {
+            mv.publish_quality(o);
+        }
+        batch
     }
 }
 
@@ -506,6 +554,11 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
         o.gauge("ow_fleet_switches_declared", &[])
             .set(cfg.switches as u64);
     }
+    // The accuracy observatory's feeder side: the oracle receives every
+    // exact batch before loss and before any sketch compression; the
+    // sketch adapter turns data-plane quality signals into telemetry.
+    let accuracy = obs.and_then(|o| o.accuracy());
+    let sketch_obs: Option<ObsSketchObs> = obs.map(ObsSketchObs::new);
 
     // Per-switch lossy links: a baseline channel plus a degraded burst
     // channel, both privately seeded so the draw sequences are fixed by
@@ -551,7 +604,11 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
             }
             FleetEventKind::Announce => {
                 let global = global_subwindow(ev.switch, ev.local);
-                let batch = cfg.workload(ev.switch, ev.local);
+                let exact = cfg.workload(ev.switch, ev.local);
+                if let Some(acc) = &accuracy {
+                    acc.feed_truth(global, &exact);
+                }
+                let batch = cfg.announced_batch(&exact, global, sketch_obs.as_ref());
                 store
                     .lock()
                     .expect("store lock")
@@ -660,6 +717,12 @@ pub fn run(cfg: &FleetConfig, obs: Option<&Obs>) -> FleetReport {
     for (base, burst) in channels.values() {
         fault_stats.merge(base.stats());
         fault_stats.merge(burst.stats());
+    }
+    // Let the accuracy observatory's shadow lane finish scoring every
+    // merged window the workers handed it — the health tick below reads
+    // the accuracy gauges.
+    if let Some(acc) = &accuracy {
+        acc.quiesce();
     }
     // Evaluate the health engine (when installed) at the quiesce point:
     // after every worker has drained and joined, counter totals and

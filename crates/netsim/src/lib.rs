@@ -30,6 +30,7 @@ pub mod fault;
 pub mod fleet;
 pub mod lossradar;
 pub mod sim;
+pub mod sketchobs;
 pub mod topology;
 
 pub use fault::{ClassProfile, ClassStats, FaultConfig, FaultStats, LossyChannel, PacketClass};

@@ -1,0 +1,120 @@
+//! Adapter from the dependency-free [`SketchObs`] data-quality hook
+//! onto the [`Obs`] metrics registry.
+//!
+//! `ow-sketch` deliberately depends on nothing but `ow-common`, so its
+//! structures report quality signals through the blind [`SketchObs`]
+//! trait. This adapter is the seam where those signals become real
+//! telemetry: every callback lands on an `ow_sketch_*` series labeled
+//! by the reporting sketch, ready for the accuracy observatory's
+//! `OW-HEALTH-402` saturation rule (and the `== accuracy ==` report
+//! section) to read.
+//!
+//! | [`SketchObs`] callback | series |
+//! |---|---|
+//! | `occupancy_permille` | `ow_sketch_occupancy_permille{sketch=…}` (gauge) |
+//! | `hash_collisions` | `ow_sketch_hash_collisions_total{sketch=…}` |
+//! | `heavy_evicts` | `ow_sketch_heavy_evicts_total{sketch=…}` |
+//! | `decode_failures` | `ow_sketch_decode_failures_total{sketch=…}` |
+//! | `saturations` | `ow_sketch_saturations_total{sketch=…}` |
+
+use ow_obs::Obs;
+use ow_sketch::SketchObs;
+
+/// A [`SketchObs`] implementation publishing into an [`Obs`] handle's
+/// registry. Cheap to build (clones the handle); the registry
+/// deduplicates series, so one adapter can serve every sketch in a run.
+#[derive(Debug, Clone)]
+pub struct ObsSketchObs {
+    obs: Obs,
+}
+
+impl ObsSketchObs {
+    /// Wrap an observability handle.
+    pub fn new(obs: &Obs) -> ObsSketchObs {
+        ObsSketchObs { obs: obs.clone() }
+    }
+}
+
+impl SketchObs for ObsSketchObs {
+    fn occupancy_permille(&self, sketch: &'static str, permille: u64) {
+        self.obs
+            .gauge("ow_sketch_occupancy_permille", &[("sketch", sketch)])
+            .set(permille);
+    }
+
+    fn hash_collisions(&self, sketch: &'static str, n: u64) {
+        self.obs
+            .counter("ow_sketch_hash_collisions_total", &[("sketch", sketch)])
+            .add(n);
+    }
+
+    fn heavy_evicts(&self, sketch: &'static str, n: u64) {
+        self.obs
+            .counter("ow_sketch_heavy_evicts_total", &[("sketch", sketch)])
+            .add(n);
+    }
+
+    fn decode_failures(&self, sketch: &'static str, n: u64) {
+        self.obs
+            .counter("ow_sketch_decode_failures_total", &[("sketch", sketch)])
+            .add(n);
+    }
+
+    fn saturations(&self, sketch: &'static str, n: u64) {
+        self.obs
+            .counter("ow_sketch_saturations_total", &[("sketch", sketch)])
+            .add(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_common::flowkey::FlowKey;
+    use ow_sketch::traits::FrequencySketch;
+    use ow_sketch::MvSketch;
+
+    #[test]
+    fn mv_quality_lands_on_ow_sketch_series() {
+        let obs = Obs::new();
+        let adapter = ObsSketchObs::new(&obs);
+        // A 1×2 sketch hammered with 8 distinct keys: full occupancy,
+        // collisions, and candidate evictions are all guaranteed.
+        let mut mv = MvSketch::new(1, 2, 7);
+        for i in 0..8u32 {
+            mv.update(&FlowKey::src_ip(i), 10 + u64::from(i));
+        }
+        mv.publish_quality(&adapter);
+        let snap = obs.snapshot();
+        let mv_label = [("sketch", "mv")];
+        assert_eq!(snap.value("ow_sketch_occupancy_permille", &mv_label), 1000);
+        assert!(snap.value("ow_sketch_hash_collisions_total", &mv_label) > 0);
+        assert!(snap.value("ow_sketch_heavy_evicts_total", &mv_label) > 0);
+        // The tallies drained: a second publish adds nothing.
+        let collisions = snap.value("ow_sketch_hash_collisions_total", &mv_label);
+        mv.publish_quality(&adapter);
+        let snap2 = obs.snapshot();
+        assert_eq!(
+            snap2.value("ow_sketch_hash_collisions_total", &mv_label),
+            collisions
+        );
+    }
+
+    #[test]
+    fn decode_failures_and_saturations_accumulate() {
+        let obs = Obs::new();
+        let adapter = ObsSketchObs::new(&obs);
+        adapter.decode_failures("iblt", 1);
+        adapter.decode_failures("iblt", 1);
+        adapter.saturations("lc", 3);
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.value("ow_sketch_decode_failures_total", &[("sketch", "iblt")]),
+            2
+        );
+        assert_eq!(
+            snap.value("ow_sketch_saturations_total", &[("sketch", "lc")]),
+            3
+        );
+    }
+}

@@ -2,9 +2,14 @@
 //! `results/trace_*.json` span-trace report as human-readable tables.
 //!
 //! ```text
-//! ow-obs-report results/obs_smoke.json [--events N] [--prometheus]
+//! ow-obs-report results/obs_smoke.json [--events N] [--prometheus] [--section NAME]
 //! ow-obs-report results/trace_smoke.json
 //! ```
+//!
+//! `--section <name>` renders exactly one section of a metrics
+//! snapshot (`counters`, `health`, `fleet`, `accuracy`, `histograms`,
+//! or `journal`); an unknown name exits nonzero so CI greps cannot
+//! silently pass on a typo.
 //!
 //! For a metrics snapshot, prints the run's counters/gauges, histogram
 //! percentiles (virtual nanoseconds), and the retained journal tail;
@@ -35,11 +40,22 @@ use ow_obs::json::{parse, ValueExt};
 use ow_obs::{validate_flightrec_json, validate_trace_json};
 use serde::Value;
 
+/// Section names `--section` accepts, in render order.
+const SECTIONS: [&str; 6] = [
+    "counters",
+    "health",
+    "fleet",
+    "accuracy",
+    "histograms",
+    "journal",
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut events_shown = 20usize;
     let mut prometheus = false;
+    let mut section: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -48,8 +64,23 @@ fn main() -> ExitCode {
                 None => return usage("--events needs an integer"),
             },
             "--prometheus" => prometheus = true,
+            "--section" => match it.next() {
+                Some(name) if SECTIONS.contains(&name.as_str()) => {
+                    section = Some(name.clone());
+                }
+                Some(name) => {
+                    return usage(&format!(
+                        "unknown section '{name}' (known: {})",
+                        SECTIONS.join(", ")
+                    ));
+                }
+                None => return usage("--section needs a name"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: ow-obs-report <obs_snapshot.json> [--events N] [--prometheus]");
+                eprintln!(
+                    "usage: ow-obs-report <obs_snapshot.json> [--events N] [--prometheus] \
+                     [--section NAME]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
@@ -107,7 +138,7 @@ fn main() -> ExitCode {
             }
         };
     }
-    match render(&doc, events_shown, prometheus) {
+    match render(&doc, events_shown, prometheus, section.as_deref()) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
@@ -213,7 +244,9 @@ fn is_set(v: &Value) -> bool {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("ow-obs-report: {msg}");
-    eprintln!("usage: ow-obs-report <obs_snapshot.json> [--events N] [--prometheus]");
+    eprintln!(
+        "usage: ow-obs-report <obs_snapshot.json> [--events N] [--prometheus] [--section NAME]"
+    );
     ExitCode::from(2)
 }
 
@@ -314,7 +347,12 @@ fn validate_snapshot(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
-fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, String> {
+fn render(
+    doc: &Value,
+    events_shown: usize,
+    prometheus: bool,
+    section: Option<&str>,
+) -> Result<String, String> {
     validate_snapshot(doc)?;
     let metrics = doc
         .field("registry")
@@ -326,6 +364,9 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
         return render_prometheus(metrics);
     }
 
+    // `--section X` renders exactly that section; without it, all.
+    let want = |name: &str| section.map_or(true, |s| s == name);
+
     let run = doc.field("run").and_then(Value::as_str).unwrap_or("?");
     let recorded = doc
         .field("events_recorded")
@@ -334,17 +375,19 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
     let events = doc.field("events").and_then(Value::items).unwrap_or(&[]);
 
     let mut out = String::new();
-    out.push_str(&format!(
-        "run: {run} — {} metrics, {recorded} events recorded ({} retained)\n\n",
-        metrics.len(),
-        events.len()
-    ));
+    if section.is_none() {
+        out.push_str(&format!(
+            "run: {run} — {} metrics, {recorded} events recorded ({} retained)\n\n",
+            metrics.len(),
+            events.len()
+        ));
+    }
 
     let scalars: Vec<&Value> = metrics
         .iter()
         .filter(|m| m.field("kind").and_then(Value::as_str) != Some("histogram"))
         .collect();
-    if !scalars.is_empty() {
+    if !scalars.is_empty() && want("counters") {
         out.push_str("== counters & gauges ==\n");
         let ids: Vec<String> = scalars
             .iter()
@@ -359,14 +402,21 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
         out.push('\n');
     }
 
-    out.push_str(&render_health(metrics));
-    out.push_str(&render_fleet(metrics));
+    if want("health") {
+        out.push_str(&render_health(metrics));
+    }
+    if want("fleet") {
+        out.push_str(&render_fleet(metrics));
+    }
+    if want("accuracy") {
+        out.push_str(&render_accuracy(metrics));
+    }
 
     let histos: Vec<&Value> = metrics
         .iter()
         .filter(|m| m.field("kind").and_then(Value::as_str) == Some("histogram"))
         .collect();
-    if !histos.is_empty() {
+    if !histos.is_empty() && want("histograms") {
         out.push_str("== histograms (virtual ns) ==\n");
         let ids: Vec<String> = histos
             .iter()
@@ -394,7 +444,7 @@ fn render(doc: &Value, events_shown: usize, prometheus: bool) -> Result<String, 
         out.push('\n');
     }
 
-    if !events.is_empty() && events_shown > 0 {
+    if !events.is_empty() && events_shown > 0 && want("journal") {
         let tail = &events[events.len().saturating_sub(events_shown)..];
         out.push_str(&format!(
             "== journal (last {} of {recorded}) ==\n",
@@ -484,6 +534,83 @@ fn render_health(metrics: &[Value]) -> String {
     entities.sort();
     for (entity, score) in entities.iter().filter(|(_, s)| *s < 1000) {
         out.push_str(&format!("  {entity}: {score}/1000\n"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Summarize the live accuracy observatory (`ow_accuracy_*` scores per
+/// query, plus any `ow_sketch_*` data-quality series) when a snapshot
+/// carries them; empty when no scorer was installed.
+fn render_accuracy(metrics: &[Value]) -> String {
+    let named = |want: &str| -> Vec<&Value> {
+        metrics
+            .iter()
+            .filter(|m| m.field("name").and_then(Value::as_str) == Some(want))
+            .collect()
+    };
+    let value_of = |m: &Value| m.field("value").and_then(Value::as_u64).unwrap_or(0);
+    let label_of = |m: &Value, key: &str| -> String {
+        m.field("labels")
+            .and_then(Value::items)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::items)
+            .filter(|kv| kv.len() == 2 && kv[0].as_str() == Some(key))
+            .filter_map(|kv| kv[1].as_str())
+            .next()
+            .unwrap_or("?")
+            .to_string()
+    };
+    let precisions = named("ow_accuracy_precision_permille");
+    if precisions.is_empty() {
+        return String::new();
+    }
+    let series_for = |name: &str, query: &str| -> u64 {
+        named(name)
+            .iter()
+            .find(|m| label_of(m, "query") == query)
+            .map_or(0, |m| value_of(m))
+    };
+    let mut out = String::from("== accuracy ==\n");
+    let mut queries: Vec<String> = precisions.iter().map(|m| label_of(m, "query")).collect();
+    queries.sort();
+    for query in queries {
+        let windows = series_for("ow_accuracy_windows_scored_total", &query);
+        out.push_str(&format!(
+            "query '{query}': precision {}‰ recall {}‰ aare {}‰ over {windows} window(s)\n",
+            series_for("ow_accuracy_precision_permille", &query),
+            series_for("ow_accuracy_recall_permille", &query),
+            series_for("ow_accuracy_aare_permille", &query),
+        ));
+        out.push_str(&format!(
+            "  oracle: {} truth key(s) vs {} merged, {} departed window(s)\n",
+            series_for("ow_accuracy_truth_keys_total", &query),
+            series_for("ow_accuracy_merged_keys_total", &query),
+            series_for("ow_accuracy_oracle_departed_total", &query),
+        ));
+    }
+    let mut sketches: Vec<String> = named("ow_sketch_occupancy_permille")
+        .iter()
+        .map(|m| label_of(m, "sketch"))
+        .collect();
+    sketches.sort();
+    for sketch in sketches {
+        let per_sketch = |name: &str| -> u64 {
+            named(name)
+                .iter()
+                .find(|m| label_of(m, "sketch") == sketch)
+                .map_or(0, |m| value_of(m))
+        };
+        out.push_str(&format!(
+            "  sketch {sketch}: occupancy {}‰, {} collision(s), {} eviction(s), \
+             {} decode failure(s), {} saturation(s)\n",
+            per_sketch("ow_sketch_occupancy_permille"),
+            per_sketch("ow_sketch_hash_collisions_total"),
+            per_sketch("ow_sketch_heavy_evicts_total"),
+            per_sketch("ow_sketch_decode_failures_total"),
+            per_sketch("ow_sketch_saturations_total"),
+        ));
     }
     out.push('\n');
     out
@@ -669,7 +796,7 @@ mod tests {
         obs.gauge("ow_fleet_windows_inflight", &[("worker", "1")])
             .set(4);
         let doc = parse(&obs.report("fleet").to_json()).expect("report parses");
-        let rendered = render(&doc, 0, false).expect("snapshot renders");
+        let rendered = render(&doc, 0, false, None).expect("snapshot renders");
         assert!(rendered.contains("== fleet =="));
         assert!(rendered.contains("switches live: 30"));
         assert!(rendered.contains("windows in flight: 7 across 2 worker(s)"));
@@ -680,7 +807,7 @@ mod tests {
         let obs = ow_obs::Obs::new();
         obs.counter("ow_controller_sessions_total", &[]).inc();
         let doc = parse(&obs.report("plain").to_json()).expect("report parses");
-        let rendered = render(&doc, 0, false).expect("snapshot renders");
+        let rendered = render(&doc, 0, false, None).expect("snapshot renders");
         assert!(!rendered.contains("== fleet =="));
         assert!(!rendered.contains("== health =="));
     }
@@ -691,23 +818,23 @@ mod tests {
         obs.counter("ow_test_events_total", &[]).inc();
         obs.event(ow_obs::Event::new("progress", "ok"));
         let good = obs.report("unit").to_json();
-        render(&parse(&good).unwrap(), 5, false).expect("pristine report renders");
+        render(&parse(&good).unwrap(), 5, false, None).expect("pristine report renders");
 
         // An unknown metric kind (a `summary` from some other system)
         // must fail, not silently drop the series.
         let bad_kind = good.replace("\"counter\"", "\"summary\"");
-        let err = render(&parse(&bad_kind).unwrap(), 5, false).unwrap_err();
+        let err = render(&parse(&bad_kind).unwrap(), 5, false, None).unwrap_err();
         assert!(err.contains("unrecognized kind 'summary'"), "{err}");
 
         // An unrecognized top-level section means the artifact is not
         // the schema this renderer understands.
         let bad_section = good.replacen("\"run\"", "\"generator\"", 1);
-        let err = render(&parse(&bad_section).unwrap(), 5, false).unwrap_err();
+        let err = render(&parse(&bad_section).unwrap(), 5, false, None).unwrap_err();
         assert!(err.contains("unrecognized top-level section"), "{err}");
 
         // A journal event with an unknown level is malformed.
         let bad_level = good.replace("\"Info\"", "\"Trace\"");
-        let err = render(&parse(&bad_level).unwrap(), 5, false).unwrap_err();
+        let err = render(&parse(&bad_level).unwrap(), 5, false, None).unwrap_err();
         assert!(err.contains("unknown level 'Trace'"), "{err}");
 
         // A histogram stripped of its bucket detail is malformed even
@@ -717,7 +844,7 @@ mod tests {
             .record(ow_common::time::Duration::from_micros(3));
         let hist = obs2.report("unit").to_json();
         let stripped = hist.replace("\"kind\": \"histogram\"", "\"kind\": \"gauge\"");
-        let err = render(&parse(&stripped).unwrap(), 5, false).unwrap_err();
+        let err = render(&parse(&stripped).unwrap(), 5, false, None).unwrap_err();
         assert!(err.contains("carries histogram detail"), "{err}");
     }
 
@@ -742,7 +869,7 @@ mod tests {
         obs.gauge("ow_test_depth", &[]).set(50);
         engine.tick(ow_common::time::Instant(1_000));
         let doc = parse(&obs.report("unit").to_json()).expect("report parses");
-        let rendered = render(&doc, 0, false).expect("snapshot renders");
+        let rendered = render(&doc, 0, false, None).expect("snapshot renders");
         assert!(rendered.contains("== health =="), "{rendered}");
         assert!(
             rendered.contains("fleet score: 750/1000 (DEGRADED)"),
@@ -753,6 +880,70 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("unit: 750/1000"), "{rendered}");
+    }
+
+    #[test]
+    fn accuracy_metrics_render_an_accuracy_section() {
+        use ow_common::afr::FlowRecord;
+        use ow_common::block::RecordBlock;
+        use ow_common::flowkey::FlowKey;
+        let obs = ow_obs::Obs::new();
+        let acc = obs.install_accuracy(ow_obs::AccuracyConfig::default());
+        let batch = vec![
+            FlowRecord::frequency(FlowKey::src_ip(1), 40, 2),
+            FlowRecord::frequency(FlowKey::src_ip(2), 60, 2),
+        ];
+        acc.feed_truth(2, &batch);
+        acc.quiesce();
+        acc.score_window(&RecordBlock::from_records(2, &batch));
+        obs.gauge("ow_sketch_occupancy_permille", &[("sketch", "mv")])
+            .set(875);
+        obs.counter("ow_sketch_hash_collisions_total", &[("sketch", "mv")])
+            .add(4);
+        let doc = parse(&obs.report("unit").to_json()).expect("report parses");
+        let rendered = render(&doc, 0, false, None).expect("snapshot renders");
+        assert!(rendered.contains("== accuracy =="), "{rendered}");
+        assert!(
+            rendered.contains(
+                "query 'heavy_hitter': precision 1000‰ recall 1000‰ aare 0‰ over 1 window(s)"
+            ),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("oracle: 2 truth key(s) vs 2 merged, 0 departed window(s)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("sketch mv: occupancy 875‰, 4 collision(s)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn section_flag_renders_exactly_one_section() {
+        let obs = ow_obs::Obs::new();
+        obs.gauge("ow_fleet_switches_live", &[]).set(8);
+        obs.counter("ow_test_events_total", &[]).inc();
+        obs.histogram("ow_test_latency", &[])
+            .record(ow_common::time::Duration::from_micros(3));
+        obs.event(ow_obs::Event::new("progress", "ok"));
+        let doc = parse(&obs.report("unit").to_json()).expect("report parses");
+        let fleet_only = render(&doc, 20, false, Some("fleet")).expect("renders");
+        assert!(fleet_only.contains("== fleet =="), "{fleet_only}");
+        assert!(
+            !fleet_only.contains("== counters & gauges =="),
+            "{fleet_only}"
+        );
+        assert!(!fleet_only.contains("== histograms"), "{fleet_only}");
+        assert!(!fleet_only.contains("== journal"), "{fleet_only}");
+        assert!(!fleet_only.contains("run:"), "{fleet_only}");
+        let journal_only = render(&doc, 20, false, Some("journal")).expect("renders");
+        assert!(journal_only.contains("== journal"), "{journal_only}");
+        assert!(!journal_only.contains("== fleet =="), "{journal_only}");
+        // A snapshot with no accuracy scorer renders an empty accuracy
+        // section — the filter is exact, not an error.
+        let accuracy_only = render(&doc, 20, false, Some("accuracy")).expect("renders");
+        assert_eq!(accuracy_only, "");
     }
 
     #[test]

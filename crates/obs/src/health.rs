@@ -155,7 +155,10 @@ pub enum Signal {
     },
     /// `numerator · 1000 / denominator` where the numerator is the
     /// rule's selector and the denominator its own selector, matched
-    /// per entity (0 when the denominator is 0).
+    /// per entity. A group whose denominator is still 0 carries no
+    /// signal yet and is **skipped** for the tick — never evaluated as
+    /// ratio 0 — so `Cmp::Below` ratio rules stay silent until the
+    /// denominator series actually moves.
     RatioPermille {
         /// The denominator series.
         denominator: MetricSelector,
@@ -171,6 +174,17 @@ pub enum Signal {
     /// `deadline_ns` (a conservative undercount), scaled against the
     /// error budget: `burn = violated‰ · 1000 / budget‰`. A burn above
     /// 1000 means the budget is being spent faster than allowed.
+    ///
+    /// **Error bound.** A violating value `v > deadline` is counted iff
+    /// its log2 bucket's lower bound reaches the deadline. Since a
+    /// bucket `(b/2, b]` always satisfies `b < 2v`, every value
+    /// `v ≥ 2·deadline` is *always* counted; only violations in the
+    /// open band `(deadline, 2·deadline)` can land in the one bucket
+    /// straddling the deadline and be missed. The reported burn is
+    /// therefore a lower bound on the true burn, short by at most the
+    /// straddling bucket's share of the count — the signal can stay
+    /// silent on near-deadline misses but can never over-report, so a
+    /// rule alerting `Cmp::Above` on it never false-fires.
     BurnRatePermille {
         /// The SLO deadline in virtual nanoseconds.
         deadline_ns: u64,
@@ -495,6 +509,12 @@ impl HealthEngine {
 
         for (ri, rule) in self.rules.rules().iter().enumerate() {
             for (entity, agg) in aggregate(rule, &sample) {
+                // A ratio with an untouched denominator is "no signal
+                // yet", not "ratio 0": evaluating it would false-fire
+                // every `Below` ratio rule on the first tick.
+                if matches!(rule.signal, Signal::RatioPermille { .. }) && agg.denom == 0 {
+                    continue;
+                }
                 let state = inner.states.entry((ri, entity.clone())).or_default();
                 let value = eval_signal(&rule.signal, &agg, state, elapsed_ns);
                 signal_lines.push(FlightEntry {
@@ -1182,6 +1202,90 @@ mod tests {
         assert_eq!(eval_signal(&signal, &low, &mut st, 0), 0);
         let empty = GroupAgg::default();
         assert_eq!(eval_signal(&signal, &empty, &mut st, 0), 0);
+    }
+
+    #[test]
+    fn below_ratio_rules_skip_groups_with_a_zero_denominator() {
+        let (_obs, engine) = engine_with(vec![Rule::new(
+            "OW-HEALTH-902",
+            "unit_drift",
+            MetricSelector::new("ow_test_num", &[]),
+            Signal::RatioPermille {
+                denominator: MetricSelector::new("ow_test_den", &[]),
+            },
+            Cmp::Below,
+            900,
+            Severity::Warning,
+        )
+        .entity("unit")]);
+
+        // Both series exist but the denominator is still 0: no signal
+        // yet, so the `Below` rule must not read 0/0 as ratio 0.
+        let t0 = engine.tick_with_sample(sample(
+            100,
+            vec![
+                metric("ow_test_num", &[], "counter", 0),
+                metric("ow_test_den", &[], "counter", 0),
+            ],
+        ));
+        assert!(t0.is_empty(), "zero denominator fired: {t0:?}");
+        // Once the denominator moves, a genuine drift fires…
+        let t1 = engine.tick_with_sample(sample(
+            200,
+            vec![
+                metric("ow_test_num", &[], "counter", 10),
+                metric("ow_test_den", &[], "counter", 100),
+            ],
+        ));
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].value, 100);
+        // …and parity clears it.
+        let t2 = engine.tick_with_sample(sample(
+            300,
+            vec![
+                metric("ow_test_num", &[], "counter", 100),
+                metric("ow_test_den", &[], "counter", 100),
+            ],
+        ));
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t2[0].state, "cleared");
+    }
+
+    #[test]
+    fn burn_rate_undercount_is_bounded_by_twice_the_deadline() {
+        // Deadline 1500 sits inside bucket 2048 = (1024, 2048].
+        // Violations in (1500, 2·1500) can hide in that straddling
+        // bucket; any value ≥ 2·deadline = 3000 lands in a bucket whose
+        // lower bound ≥ 2048 ≥ 1500 and is always counted.
+        let signal = Signal::BurnRatePermille {
+            deadline_ns: 1500,
+            budget_permille: 500,
+        };
+        let mut st = RuleState::default();
+        let mut agg = GroupAgg {
+            hist_count: 10,
+            ..GroupAgg::default()
+        };
+        agg.hist_buckets.insert(2048, 5); // true violations ~2000, missed
+        agg.hist_buckets.insert(4096, 5); // ≥ 2·deadline, counted
+                                          // True violated share is 1000‰ (all ten); measured is 500‰ —
+                                          // the undercount is exactly the straddling bucket's share.
+        assert_eq!(eval_signal(&signal, &agg, &mut st, 0), 1000);
+        // Move the hidden half past 2× the deadline: nothing can hide.
+        let mut all_past = GroupAgg {
+            hist_count: 10,
+            ..GroupAgg::default()
+        };
+        all_past.hist_buckets.insert(4096, 10);
+        assert_eq!(eval_signal(&signal, &all_past, &mut st, 0), 2000);
+        // And with every violation inside the straddling band the
+        // signal reads zero — silent, never over-reporting.
+        let mut all_hidden = GroupAgg {
+            hist_count: 10,
+            ..GroupAgg::default()
+        };
+        all_hidden.hist_buckets.insert(2048, 10);
+        assert_eq!(eval_signal(&signal, &all_hidden, &mut st, 0), 0);
     }
 
     #[test]

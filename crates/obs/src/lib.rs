@@ -25,6 +25,13 @@
 //!   `results/flightrec_*.json` post-mortem on critical alerts or FSM
 //!   invariant rejections.
 //!
+//! * [`AccuracyScorer`] ([`accuracy`]) — the live query-accuracy
+//!   observatory: a streaming ground-truth oracle fed per sub-window
+//!   by the feeder, scored against each window's merged answer at its
+//!   `Merged` transition, published as `ow_accuracy_*` permille gauges
+//!   and closed through the health engine by the `OW-HEALTH-4xx`
+//!   catalog ([`accuracy_health_rules`]).
+//!
 //! [`Obs`] bundles one registry, one journal, and one tracer into a
 //! cheap-clone handle that threads through the switch, controller, and
 //! topology builder. [`Obs::engine_sink`] adapts the handle onto
@@ -32,6 +39,7 @@
 //! transition — including rejected drift — lands in the registry, the
 //! journal, and (when the window has an active trace) the span tree.
 
+pub mod accuracy;
 pub mod export;
 pub mod flightrec;
 pub mod health;
@@ -48,6 +56,10 @@ use parking_lot::RwLock;
 use ow_common::engine::{Transition, TransitionSink, WindowPhase};
 use ow_common::metrics::ReliabilityMetrics;
 
+pub use accuracy::{
+    accuracy_health_rules, AccuracyConfig, AccuracyScorer, AccuracySummary, WindowScore,
+    WindowScoreBrief,
+};
 pub use export::{check_exposition, prometheus_text, ObsReport};
 pub use flightrec::{
     validate_flightrec_json, FlightDump, FlightEntry, FlightRecorder, FlightRecorderConfig,
@@ -76,6 +88,7 @@ pub struct Obs {
     journal: Arc<EventJournal>,
     tracer: Arc<Tracer>,
     health: Arc<RwLock<Option<Arc<HealthEngine>>>>,
+    accuracy: Arc<RwLock<Option<Arc<AccuracyScorer>>>>,
 }
 
 impl Default for Obs {
@@ -106,6 +119,7 @@ impl Obs {
             journal,
             tracer,
             health: Arc::new(RwLock::new(None)),
+            accuracy: Arc::new(RwLock::new(None)),
         }
     }
 
@@ -133,6 +147,23 @@ impl Obs {
     /// The installed health engine, if any.
     pub fn health(&self) -> Option<Arc<HealthEngine>> {
         self.health.read().clone()
+    }
+
+    /// Install an [`AccuracyScorer`] over this handle's registry and
+    /// journal. Every clone of the handle sees the scorer: the feeder
+    /// streams ground truth into it and the controller scores each
+    /// window at its `Merged` transition. Installing again replaces the
+    /// previous scorer (and starts a fresh oracle).
+    pub fn install_accuracy(&self, cfg: AccuracyConfig) -> Arc<AccuracyScorer> {
+        let scorer =
+            AccuracyScorer::new(cfg, Arc::clone(&self.registry), Arc::clone(&self.journal));
+        *self.accuracy.write() = Some(Arc::clone(&scorer));
+        scorer
+    }
+
+    /// The installed accuracy scorer, if any.
+    pub fn accuracy(&self) -> Option<Arc<AccuracyScorer>> {
+        self.accuracy.read().clone()
     }
 
     /// The span tracer.

@@ -599,6 +599,35 @@ mod tests {
     }
 
     #[test]
+    fn gauge_watermark_tracks_the_max_across_add_sub_churn() {
+        let g = Gauge::default();
+        // Sawtooth churn: +5/−3 five times. The running value peaks at
+        // 5+2k on cycle k; the watermark must hold the overall max even
+        // though the gauge never rests there.
+        for _ in 0..5 {
+            g.add(5);
+            g.sub(3);
+        }
+        assert_eq!(g.get(), 10);
+        assert_eq!(g.take_peak(), 13, "max of the sawtooth, not the rest");
+        // Post-take cycles restart cleanly: each take reports only its
+        // own cycle's max, not a stale one.
+        g.sub(9); // down to 1
+        g.add(4); // up to 5
+        g.sub(5); // saturating path to 0
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.take_peak(), 10, "pre-sub level from take time");
+        g.add(2);
+        assert_eq!(g.take_peak(), 2);
+        // Oversized sub saturates at zero and leaves the watermark
+        // alone — the next take reads the pre-sub value, never wraps.
+        g.sub(1000);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.take_peak(), 2);
+        assert_eq!(g.take_peak(), 0, "fully drained and fully taken");
+    }
+
+    #[test]
     fn registry_peak_sampling_resets_every_gauge_deterministically() {
         let reg = MetricsRegistry::new();
         reg.counter("ow_test_events_total", &[]).inc();

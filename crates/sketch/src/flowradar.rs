@@ -16,7 +16,7 @@ use ow_common::flowkey::FlowKey;
 use ow_common::hash::{HashFamily, HashFn};
 
 use crate::bloom::BloomFilter;
-use crate::traits::SketchMeta;
+use crate::traits::{SketchMeta, SketchObs};
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Cell {
@@ -128,6 +128,17 @@ impl FlowRadar {
         let complete = self.cells.iter().all(|c| c.flow_count == 0);
         flows.sort_by_key(|(k, _)| k.as_u128());
         FlowRadarDecode { flows, complete }
+    }
+
+    /// [`FlowRadar::decode`] with data-quality observation: an
+    /// incomplete peel (flows left encoded, AFR generation incomplete)
+    /// reports one decode failure to `obs`.
+    pub fn decode_observed(&mut self, obs: &dyn SketchObs) -> FlowRadarDecode {
+        let result = self.decode();
+        if !result.complete {
+            obs.decode_failures("flowradar", 1);
+        }
+        result
     }
 
     /// Clear the state (the in-switch reset target).

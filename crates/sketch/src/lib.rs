@@ -55,5 +55,7 @@ pub use mv::MvSketch;
 pub use sliding::{SlidingCm, SlidingMv};
 pub use spread::SpreadSketch;
 pub use sumax::SuMax;
-pub use traits::{FrequencySketch, InvertibleSketch, SketchMeta, SpreadEstimator};
+pub use traits::{
+    FrequencySketch, InvertibleSketch, NullSketchObs, SketchMeta, SketchObs, SpreadEstimator,
+};
 pub use vbf::VectorBloomFilter;

@@ -12,7 +12,7 @@
 use ow_common::flowkey::FlowKey;
 use ow_common::hash::HashFamily;
 
-use crate::traits::{FrequencySketch, InvertibleSketch, SketchMeta};
+use crate::traits::{FrequencySketch, InvertibleSketch, SketchMeta, SketchObs};
 
 /// One MV-Sketch bucket.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,6 +44,12 @@ pub struct MvSketch {
     width: usize,
     buckets: Vec<Bucket>,
     hashes: HashFamily,
+    /// Updates that landed in a bucket owned by a different candidate
+    /// (drained by [`MvSketch::publish_quality`]).
+    collisions: u64,
+    /// Majority-vote candidate flips (drained by
+    /// [`MvSketch::publish_quality`]).
+    heavy_evicts: u64,
 }
 
 /// Bytes a bucket occupies in the hardware layout the paper assumes:
@@ -65,6 +71,8 @@ impl MvSketch {
             width,
             buckets: vec![Bucket::default(); rows * width],
             hashes: HashFamily::new(seed, rows),
+            collisions: 0,
+            heavy_evicts: 0,
         }
     }
 
@@ -79,6 +87,37 @@ impl MvSketch {
     /// Buckets per row.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Buckets currently holding a candidate key, in permille of
+    /// capacity. A full structure (1000‰) can no longer admit new
+    /// candidates without evicting — the leading indicator that recall
+    /// on heavy-hitter queries is about to drop.
+    pub fn occupancy_permille(&self) -> u64 {
+        let occupied = self.buckets.iter().filter(|b| b.k.is_some()).count() as u64;
+        occupied * 1000 / self.buckets.len() as u64
+    }
+
+    /// Undrained hash-collision tally (updates into a foreign
+    /// candidate's bucket) since the last [`MvSketch::publish_quality`].
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Undrained candidate-eviction tally since the last
+    /// [`MvSketch::publish_quality`].
+    pub fn heavy_evicts(&self) -> u64 {
+        self.heavy_evicts
+    }
+
+    /// Publish data-quality signals to `obs`: the current occupancy
+    /// reading plus the collision/eviction tallies accumulated since
+    /// the previous publish (the tallies are drained, so periodic
+    /// publishing never double-counts).
+    pub fn publish_quality(&mut self, obs: &dyn SketchObs) {
+        obs.occupancy_permille("mv", self.occupancy_permille());
+        obs.hash_collisions("mv", std::mem::take(&mut self.collisions));
+        obs.heavy_evicts("mv", std::mem::take(&mut self.heavy_evicts));
     }
 }
 
@@ -97,8 +136,10 @@ impl FrequencySketch for MvSketch {
                     b.c += w;
                 }
                 Some(_) => {
+                    self.collisions += 1;
                     b.c -= w;
                     if b.c < 0 {
+                        self.heavy_evicts += 1;
                         b.k = Some(*key);
                         b.c = -b.c;
                     }

@@ -1,0 +1,218 @@
+//! End-to-end acceptance for the live query-accuracy observatory:
+//!
+//! 1. **Perfect pipeline, perfect score.** A lossless exact-feed fleet
+//!    scores every window at 1000‰ precision/recall and 0‰ AARE, and
+//!    the `OW-HEALTH-4xx` catalog stays silent.
+//! 2. **Live ≡ offline.** The scores the observatory publishes while
+//!    the run is still in flight equal — to the permille — what the
+//!    offline `evaluate::score_reports` / `score_estimates` path
+//!    computes over the same windows after the fact.
+//! 3. **Recall collapse pages.** An undersized data-plane sketch fires
+//!    exactly the expected 4xx set, and the critical `OW-HEALTH-404`
+//!    freezes the flight recorder.
+//! 4. **Determinism.** Same-seed runs — threaded workers and all —
+//!    produce byte-identical accuracy summaries and alert timelines.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use omniwindow::evaluate;
+use omniwindow::mechanisms::WindowResult;
+use ow_common::metrics;
+use ow_common::time::Duration;
+use ow_netsim::fleet;
+use ow_netsim::{ChurnEvent, ChurnKind, FleetConfig};
+use ow_obs::{
+    accuracy_health_rules, validate_flightrec_json, AccuracyConfig, AccuracyScorer,
+    FlightRecorderConfig, HealthEngine, Obs,
+};
+use proptest::prelude::*;
+
+/// A fleet whose switches crash occasionally and announce through a
+/// data-plane MV-Sketch of the given geometry (`None` = exact feed).
+fn fleet_config(seed: u64, sketch_feed: Option<(usize, usize)>) -> FleetConfig {
+    FleetConfig {
+        switches: 8,
+        workers: 2,
+        local_windows: 3,
+        afr_loss: 0.15,
+        churn: vec![ChurnEvent {
+            at: Duration::from_micros(1_700),
+            switch: 2,
+            kind: ChurnKind::Crash,
+        }],
+        sketch_feed,
+        seed,
+        ..FleetConfig::default()
+    }
+}
+
+/// Run a fleet with the accuracy observatory and its 4xx catalog
+/// installed; returns the scorer and engine for inspection.
+fn run_with_accuracy(cfg: &FleetConfig) -> (Arc<AccuracyScorer>, Arc<HealthEngine>) {
+    let obs = Obs::with_journal_capacity(1 << 15);
+    let engine = obs.install_health(accuracy_health_rules(), FlightRecorderConfig::default());
+    let scorer = obs.install_accuracy(AccuracyConfig::default());
+    fleet::run(cfg, Some(&obs));
+    (scorer, engine)
+}
+
+fn fired_pairs(engine: &HealthEngine) -> BTreeSet<(String, String)> {
+    engine
+        .timeline()
+        .iter()
+        .filter(|a| a.state == "fired")
+        .map(|a| (a.code.clone(), a.entity.clone()))
+        .collect()
+}
+
+fn permille(x: f64) -> u64 {
+    (x * 1000.0).round() as u64
+}
+
+#[test]
+fn lossless_exact_feed_scores_perfectly_and_stays_silent() {
+    let cfg = FleetConfig {
+        switches: 8,
+        workers: 2,
+        local_windows: 3,
+        afr_loss: 0.0,
+        seed: 7,
+        ..FleetConfig::default()
+    };
+    let (scorer, engine) = run_with_accuracy(&cfg);
+    let summary = scorer.summary();
+    assert_eq!(summary.windows_scored, 8 * 3);
+    assert_eq!(summary.precision_permille, 1000);
+    assert_eq!(summary.recall_permille, 1000);
+    assert_eq!(summary.aare_permille, 0);
+    assert_eq!(scorer.pending_windows(), 0, "every fed window was scored");
+    assert!(engine.timeline().is_empty(), "{:?}", engine.timeline());
+    assert!(!engine.frozen());
+}
+
+#[test]
+fn live_scores_equal_the_offline_evaluation_path() {
+    // A moderately sized sketch: enough buckets that most — but not
+    // all — flows survive, so the scores are non-trivial.
+    let (scorer, _engine) = run_with_accuracy(&fleet_config(21, Some((1, 12))));
+    let summary = scorer.summary();
+    assert!(summary.windows_scored > 0);
+    assert!(
+        summary.recall_permille < 1000,
+        "an undersized sketch must lose flows ({summary:?})"
+    );
+    assert_eq!(
+        scorer.pending_windows(),
+        0,
+        "scored or departed, nothing wedged"
+    );
+
+    // Rebuild the offline evaluation inputs from the per-window data
+    // the scorer retained, in the same (sub-window) order the live
+    // aggregates summed in.
+    let windows = scorer.windows();
+    let threshold = scorer.config().threshold;
+    let mech: Vec<WindowResult> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| WindowResult {
+            index: i,
+            reported: w
+                .merged
+                .iter()
+                .filter(|(_, s)| *s >= threshold)
+                .map(|(k, _)| *k)
+                .collect(),
+            estimates: w.merged.iter().cloned().collect(),
+        })
+        .collect();
+    let refr: Vec<WindowResult> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| WindowResult {
+            index: i,
+            reported: w
+                .truth
+                .iter()
+                .filter(|(_, s)| *s >= threshold)
+                .map(|(k, _)| *k)
+                .collect(),
+            estimates: w.truth.iter().cloned().collect(),
+        })
+        .collect();
+
+    let pr = evaluate::score_reports(&mech, &refr);
+    assert_eq!(permille(pr.precision), summary.precision_permille);
+    assert_eq!(permille(pr.recall), summary.recall_permille);
+
+    // The live AARE is the mean of per-window AREs; replay that shape
+    // through the offline estimator window by window.
+    let ares: Vec<f64> = (0..windows.len())
+        .map(|i| {
+            evaluate::score_estimates(
+                std::slice::from_ref(&mech[i]),
+                std::slice::from_ref(&refr[i]),
+            )
+        })
+        .collect();
+    assert_eq!(permille(metrics::mean(&ares)), summary.aare_permille);
+
+    // The per-window briefs agree with the offline helpers too.
+    for (i, w) in windows.iter().enumerate() {
+        let pr_w = evaluate::score_reports(
+            std::slice::from_ref(&mech[i]),
+            std::slice::from_ref(&refr[i]),
+        );
+        assert_eq!(permille(pr_w.precision), permille(w.precision));
+        assert_eq!(permille(pr_w.recall), permille(w.recall));
+    }
+}
+
+#[test]
+fn undersized_sketch_fires_the_accuracy_catalog_and_freezes() {
+    // Four buckets against a ~20-distinct-key window: most flows are
+    // lost in the data plane, invisibly to transport health.
+    let (scorer, engine) = run_with_accuracy(&fleet_config(31, Some((1, 4))));
+    let summary = scorer.summary();
+    assert!(
+        summary.recall_permille < 500,
+        "recall must collapse ({summary:?})"
+    );
+    let fired = fired_pairs(&engine);
+    let want: BTreeSet<(String, String)> = [
+        ("OW-HEALTH-401", "accuracy"),  // recall SLO burn
+        ("OW-HEALTH-402", "sketch:mv"), // the saturated sketch, by name
+        ("OW-HEALTH-403", "accuracy"),  // merged keys ≪ oracle keys
+        ("OW-HEALTH-404", "accuracy"),  // accuracy collapse
+    ]
+    .iter()
+    .map(|(c, e)| (c.to_string(), e.to_string()))
+    .collect();
+    assert_eq!(fired, want, "recall and precision must both hold");
+    assert!(engine.frozen(), "the critical 404 freezes the black box");
+    let dump = engine.flight_dump("e2e").expect("frozen");
+    assert!(dump.freeze_reason.contains("OW-HEALTH-404"));
+    let doc = ow_obs::json::parse(&dump.to_json()).expect("dump parses");
+    validate_flightrec_json(&doc).expect("dump validates");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same-seed degraded runs — threaded workers and all — publish
+    /// byte-identical accuracy summaries and alert timelines.
+    #[test]
+    fn same_seed_accuracy_runs_are_byte_identical(seed in 1u64..10_000) {
+        let cfg = fleet_config(seed, Some((1, 8)));
+        let (scorer_a, engine_a) = run_with_accuracy(&cfg);
+        let (scorer_b, engine_b) = run_with_accuracy(&cfg);
+        let json_a = serde_json::to_string(&scorer_a.summary()).unwrap();
+        let json_b = serde_json::to_string(&scorer_b.summary()).unwrap();
+        prop_assert_eq!(json_a, json_b);
+        prop_assert_eq!(engine_a.timeline(), engine_b.timeline());
+        let dump_a = engine_a.flight_dump("e2e").map(|d| d.to_json());
+        let dump_b = engine_b.flight_dump("e2e").map(|d| d.to_json());
+        prop_assert_eq!(dump_a, dump_b);
+    }
+}

@@ -47,6 +47,7 @@ fn chaos_config(switches: u32, seed: u64) -> FleetConfig {
         }],
         churn: Vec::new(),
         escalate_every: 7,
+        sketch_feed: None,
         seed,
     };
     cfg.churn = vec![
